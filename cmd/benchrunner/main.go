@@ -1,0 +1,54 @@
+// Command benchrunner regenerates the paper's tables and figures from the
+// reproduction experiments. Each experiment prints the same rows/series
+// the paper reports (see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	benchrunner -exp fig6            # one experiment at paper scale
+//	benchrunner -exp all -quick      # everything, scaled down
+//	benchrunner -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"autocomp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, table1, est) or 'all'")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "run scaled-down configurations")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %s\n", s.ExpID, s.Title)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ExpID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, *seed, *quick)
+		if err != nil {
+			log.SetFlags(0)
+			log.Printf("experiment %s failed: %v", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n%s\n", res.Title(), res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,132 @@
+// Command lakectl inspects a simulated lake the way an operator would:
+// it builds a CAB-style lake, then prints table listings, file-size
+// histograms, namespace quota utilization, and the compaction candidates
+// AutoComp would pick right now (a dry run of the decide phase).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"autocomp/internal/bench"
+	"autocomp/internal/core"
+	"autocomp/internal/engine"
+	"autocomp/internal/lst"
+	"autocomp/internal/metrics"
+	"autocomp/internal/storage"
+	"autocomp/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	databases := flag.Int("databases", 4, "databases to create")
+	top := flag.Int("top", 15, "rows to show per listing")
+	flag.Parse()
+
+	env := bench.NewEnv(bench.EnvConfig{Seed: *seed})
+	gen := workload.NewCAB(workload.CABConfig{
+		RawDataBytes: 20 * storage.GB,
+		Databases:    *databases,
+		Duration:     time.Hour,
+		Months:       12,
+		Seed:         *seed,
+	})
+	plan := gen.Plan()
+	months := workload.MonthPartitions(12)
+	for _, dbp := range plan.Databases {
+		if _, err := env.CP.CreateDatabase(dbp.Name, "tenant", 200_000); err != nil {
+			log.Fatal(err)
+		}
+		for _, td := range dbp.Tables {
+			tbl, err := env.CP.CreateTable(dbp.Name, lst.TableConfig{
+				Name: td.Name, Schema: td.Schema, Spec: td.Spec,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			q := engine.Query{
+				App: "load", Table: tbl, Kind: engine.Insert,
+				Bytes:       workload.SizeOfShare(dbp.RawBytes, td.ShareOfData),
+				Parallelism: dbp.LoadParallelism,
+			}
+			if td.Spec.IsPartitioned() {
+				q.TargetPartitions = months
+			}
+			if res := env.Engine.Exec(q); res.Failed() {
+				log.Fatal(res.Err)
+			}
+		}
+	}
+	env.Clock.Advance(48 * time.Hour)
+
+	// Table listing.
+	fmt.Println("== tables ==")
+	var rows [][]string
+	for i, tbl := range env.CP.AllTables() {
+		if i >= *top {
+			break
+		}
+		rows = append(rows, []string{
+			tbl.FullName(),
+			fmt.Sprintf("%d", tbl.FileCount()),
+			metrics.FormatBytes(tbl.TotalBytes()),
+			fmt.Sprintf("%d", tbl.SmallFileCount(512*storage.MB)),
+			fmt.Sprintf("%d", len(tbl.Partitions())),
+			tbl.Mode().String(),
+		})
+	}
+	fmt.Println(metrics.RenderTable(
+		[]string{"Table", "Files", "Bytes", "Small", "Parts", "Mode"}, rows))
+
+	// Lake-wide histogram.
+	fmt.Println("== file size distribution ==")
+	h := metrics.NewHistogram([]int64{32 * storage.MB, 128 * storage.MB, 512 * storage.MB})
+	h.AddCounts(env.FS.SizeHistogram("", []int64{32 * storage.MB, 128 * storage.MB, 512 * storage.MB}))
+	labels := h.BucketLabels(metrics.FormatBytes)
+	var hrows [][]string
+	for i, l := range labels {
+		hrows = append(hrows, []string{l, fmt.Sprintf("%d", h.Counts[i])})
+	}
+	fmt.Println(metrics.RenderTable([]string{"Bucket", "Objects"}, hrows))
+
+	// Quotas.
+	fmt.Println("== namespace quotas ==")
+	var qrows [][]string
+	for _, db := range env.CP.Databases() {
+		qrows = append(qrows, []string{db, fmt.Sprintf("%.1f%%", 100*env.CP.QuotaUtilization(db))})
+	}
+	fmt.Println(metrics.RenderTable([]string{"Database", "Quota used"}, qrows))
+
+	// Dry-run of the decide phase.
+	fmt.Println("== autocomp dry run (top candidates) ==")
+	cost := core.ComputeCost{
+		ExecutorMemoryGB:    env.ExecutorMemoryGB(),
+		RewriteBytesPerHour: env.RewriteBytesPerHour(),
+	}
+	svc, err := core.NewService(core.Config{
+		Connector: core.CatalogConnector{CP: env.CP},
+		Generator: core.HybridScopeGenerator{},
+		Observer: core.StatsObserver{
+			TargetFileSize: env.TargetFileSize,
+			Quota:          env.CP.QuotaUtilization,
+			Now:            env.Clock.Now,
+		},
+		StatsFilters: []core.Filter{core.MinSmallFiles{Min: 2}},
+		Traits:       []core.Trait{core.FileCountReduction{}, cost},
+		Ranker: core.MOOPRanker{Objectives: []core.Objective{
+			{Trait: core.FileCountReduction{}, Weight: 0.7},
+			{Trait: cost, Weight: 0.3},
+		}},
+		Selector: core.TopK{K: *top},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := svc.Decide()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Explain(*top))
+}

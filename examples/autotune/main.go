@@ -1,0 +1,72 @@
+// Command autotune demonstrates §6.3: tuning an optimize-after-write
+// compaction trigger with the FLAML-style optimizer against LST-Bench
+// phased workloads, and why "one size does not fit all" — TPC-DS WP1
+// loves compaction, TPC-H prefers none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"autocomp/internal/bench"
+	"autocomp/internal/storage"
+	"autocomp/internal/tuner"
+	"autocomp/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	gb := flag.Int64("data-gb", 20, "workload scale (GB)")
+	iters := flag.Int("iters", 8, "tuning iterations")
+	flag.Parse()
+
+	raw := *gb * storage.GB
+	panels := []struct {
+		name string
+		wl   func(int64) workload.PhasedWorkload
+	}{
+		{"TPC-DS WP1", workload.TPCDSWP1},
+		{"TPC-H", workload.TPCH},
+	}
+
+	for _, panel := range panels {
+		base, err := bench.RunPhased(bench.PhasedRunConfig{Workload: panel.wl(raw), Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		objective := func(params map[string]float64) float64 {
+			r, err := bench.RunPhased(bench.PhasedRunConfig{
+				Workload: panel.wl(raw),
+				Seed:     *seed,
+				Hook: bench.HookSpec{
+					Enabled:   true,
+					Trait:     bench.HookSmallFileCount,
+					Threshold: params["threshold"],
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r.Total.Seconds()
+		}
+		trials := tuner.CFO{
+			Params: []tuner.Param{{Name: "threshold", Min: 50, Max: 100000, Log: true}},
+			Seed:   *seed,
+		}.Optimize(objective, *iters)
+
+		fmt.Printf("=== %s ===\n", panel.name)
+		fmt.Printf("baseline (no auto-compaction): %.0fs\n", base.Total.Seconds())
+		for _, tr := range trials {
+			fmt.Printf("  iter %2d  threshold %8.0f  →  %.0fs\n",
+				tr.Iteration+1, tr.Params["threshold"], tr.Score)
+		}
+		best := tuner.Best(trials)
+		verdict := "auto-compaction wins"
+		if best.Score >= base.Total.Seconds()*0.97 {
+			verdict = "default (no compaction) is best"
+		}
+		fmt.Printf("best tuned: %.0fs @ threshold %.0f — %s\n\n",
+			best.Score, best.Params["threshold"], verdict)
+	}
+}

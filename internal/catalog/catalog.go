@@ -1,0 +1,301 @@
+// Package catalog implements a control plane for the simulated data lake
+// in the mold of LinkedIn's OpenHouse: a declarative catalog of databases
+// (tenant namespaces with HDFS object quotas) and log-structured tables,
+// plus data services (snapshot retention) that reconcile observed and
+// desired state.
+//
+// AutoComp interfaces with the lake exclusively through this catalog,
+// matching the paper's deployment where compaction is an OpenHouse data
+// service (§2, §5, Figure 5).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// Errors returned by catalog operations.
+var (
+	ErrDatabaseExists   = errors.New("catalog: database already exists")
+	ErrDatabaseNotFound = errors.New("catalog: database not found")
+	ErrTableExists      = errors.New("catalog: table already exists")
+	ErrTableNotFound    = errors.New("catalog: table not found")
+)
+
+// TablePolicies is the declarative per-table maintenance state the control
+// plane reconciles.
+type TablePolicies struct {
+	// RetainSnapshots is how many snapshots retention keeps (min 1).
+	RetainSnapshots int
+	// Intermediate marks scratch tables that filters may exclude from
+	// compaction (§4.1's usage-aware filtering).
+	Intermediate bool
+}
+
+// DefaultPolicies returns the control plane's default table policies.
+func DefaultPolicies() TablePolicies {
+	return TablePolicies{RetainSnapshots: 20}
+}
+
+// Database is a tenant namespace holding tables under one storage quota.
+type Database struct {
+	Name   string
+	Tenant string
+}
+
+// entry pairs a table with its policies.
+type entry struct {
+	table    *lst.Table
+	policies TablePolicies
+}
+
+// ControlPlane is the catalog plus data services.
+type ControlPlane struct {
+	mu    sync.Mutex
+	fs    *storage.NameNode
+	clock *sim.Clock
+	dbs   map[string]*Database
+	// tables is keyed by database name, then table name.
+	tables map[string]map[string]*entry
+}
+
+// New returns a control plane over the given storage, driven by clock.
+func New(fs *storage.NameNode, clock *sim.Clock) *ControlPlane {
+	return &ControlPlane{
+		fs:     fs,
+		clock:  clock,
+		dbs:    make(map[string]*Database),
+		tables: make(map[string]map[string]*entry),
+	}
+}
+
+// FS returns the underlying storage layer.
+func (cp *ControlPlane) FS() *storage.NameNode { return cp.fs }
+
+// Clock returns the control plane's clock.
+func (cp *ControlPlane) Clock() *sim.Clock { return cp.clock }
+
+// CreateDatabase registers a database (tenant namespace). quotaObjects, if
+// positive, installs an HDFS namespace quota on the database.
+func (cp *ControlPlane) CreateDatabase(name, tenant string, quotaObjects int64) (*Database, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if _, ok := cp.dbs[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDatabaseExists, name)
+	}
+	db := &Database{Name: name, Tenant: tenant}
+	cp.dbs[name] = db
+	cp.tables[name] = make(map[string]*entry)
+	if quotaObjects > 0 {
+		cp.fs.SetQuota(name, quotaObjects)
+	}
+	return db, nil
+}
+
+// Databases returns registered database names, sorted.
+func (cp *ControlPlane) Databases() []string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]string, 0, len(cp.dbs))
+	for name := range cp.dbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateTable creates a table in db with cfg (cfg.Database is overwritten
+// with db) and default policies.
+func (cp *ControlPlane) CreateTable(db string, cfg lst.TableConfig) (*lst.Table, error) {
+	return cp.CreateTableWithPolicies(db, cfg, DefaultPolicies())
+}
+
+// CreateTableWithPolicies creates a table with explicit policies.
+func (cp *ControlPlane) CreateTableWithPolicies(db string, cfg lst.TableConfig, pol TablePolicies) (*lst.Table, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ts, ok := cp.tables[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	if _, ok := ts[cfg.Name]; ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrTableExists, db, cfg.Name)
+	}
+	cfg.Database = db
+	t, err := lst.NewTable(cfg, cp.fs, cp.clock)
+	if err != nil {
+		return nil, err
+	}
+	ts[cfg.Name] = &entry{table: t, policies: pol}
+	return t, nil
+}
+
+// Table looks up a table.
+func (cp *ControlPlane) Table(db, name string) (*lst.Table, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ts, ok := cp.tables[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	e, ok := ts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
+	}
+	return e.table, nil
+}
+
+// Policies returns the policies for a table.
+func (cp *ControlPlane) Policies(db, name string) (TablePolicies, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ts, ok := cp.tables[db]
+	if !ok {
+		return TablePolicies{}, fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	e, ok := ts[name]
+	if !ok {
+		return TablePolicies{}, fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
+	}
+	return e.policies, nil
+}
+
+// SetPolicies replaces the policies for a table.
+func (cp *ControlPlane) SetPolicies(db, name string, pol TablePolicies) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ts, ok := cp.tables[db]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	e, ok := ts[name]
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
+	}
+	e.policies = pol
+	return nil
+}
+
+// Tables returns the tables of one database sorted by name.
+func (cp *ControlPlane) Tables(db string) ([]*lst.Table, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ts, ok := cp.tables[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	out := make([]*lst.Table, 0, len(ts))
+	for _, e := range ts {
+		out = append(out, e.table)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// AllTables returns every table in the lake, sorted by database then name,
+// giving the deterministic iteration order AutoComp's candidate generation
+// relies on (NFR2).
+func (cp *ControlPlane) AllTables() []*lst.Table {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	var out []*lst.Table
+	for _, ts := range cp.tables {
+		for _, e := range ts {
+			out = append(out, e.table)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// TableCount returns the number of onboarded tables.
+func (cp *ControlPlane) TableCount() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	n := 0
+	for _, ts := range cp.tables {
+		n += len(ts)
+	}
+	return n
+}
+
+// DropTable unregisters a table and deletes all of its storage objects.
+func (cp *ControlPlane) DropTable(db, name string) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ts, ok := cp.tables[db]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	if _, ok := ts[name]; !ok {
+		return fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
+	}
+	delete(ts, name)
+	prefix := fmt.Sprintf("/%s/%s/", db, name)
+	for _, obj := range cp.fs.List(prefix) {
+		if err := cp.fs.Delete(obj.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QuotaUtilization returns Used/Total for a database's namespace quota, or
+// 0 when no quota is installed. Feeds the paper's quota-adaptive MOOP
+// weight w1 = 0.5·(1 + Used/Total) (§7).
+func (cp *ControlPlane) QuotaUtilization(db string) float64 {
+	q, ok := cp.fs.QuotaFor(db)
+	if !ok {
+		return 0
+	}
+	return q.Utilization()
+}
+
+// RunRetention is the data service that reconciles snapshot retention
+// policies across the lake; it returns the number of storage objects
+// reclaimed.
+func (cp *ControlPlane) RunRetention() (int, error) {
+	cp.mu.Lock()
+	entries := make([]*entry, 0, cp.TableCountLocked())
+	for _, ts := range cp.tables {
+		for _, e := range ts {
+			entries = append(entries, e)
+		}
+	}
+	cp.mu.Unlock()
+
+	total := 0
+	for _, e := range entries {
+		keep := e.policies.RetainSnapshots
+		if keep < 1 {
+			keep = 1
+		}
+		n, err := e.table.ExpireSnapshots(keep)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// TableCountLocked returns the table count; caller must hold cp.mu.
+func (cp *ControlPlane) TableCountLocked() int {
+	n := 0
+	for _, ts := range cp.tables {
+		n += len(ts)
+	}
+	return n
+}
+
+// TableAge returns how long ago the table was created.
+func (cp *ControlPlane) TableAge(t *lst.Table) time.Duration {
+	return cp.clock.Now() - t.Created()
+}

@@ -1,0 +1,99 @@
+package compaction
+
+import (
+	"testing"
+
+	"autocomp/internal/cluster"
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// Tests for the §8 layout-optimization extension: clustering rewrites.
+
+func clusteringSetup(t *testing.T, clusterData bool) (*Executor, *lst.Table) {
+	t.Helper()
+	clock := sim.NewClock()
+	fs := storage.NewNameNode(storage.DefaultConfig(), clock, sim.NewRNG(1))
+	tbl, err := lst.NewTable(lst.TableConfig{Database: "db", Name: "t"}, fs, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{
+		Cluster:        cluster.New(cluster.CompactionClusterConfig(), clock),
+		TargetFileSize: 512 * mb,
+		ClusterData:    clusterData,
+	}
+	return ex, tbl
+}
+
+func TestClusteringRewriteMarksOutputs(t *testing.T) {
+	ex, tbl := clusteringSetup(t, true)
+	specs := make([]lst.FileSpec, 12)
+	for i := range specs {
+		specs[i] = lst.FileSpec{SizeBytes: 20 * mb, RowCount: 100}
+	}
+	if _, err := tbl.AppendFiles(specs); err != nil {
+		t.Fatal(err)
+	}
+	res := ex.CompactTable(tbl)
+	if !res.Succeeded() {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, f := range tbl.LiveFiles() {
+		if !f.Clustered {
+			t.Fatalf("output %s not clustered", f.Path)
+		}
+	}
+}
+
+func TestClusteringCostsMoreThanPlainCompaction(t *testing.T) {
+	load := func(tbl *lst.Table) {
+		specs := make([]lst.FileSpec, 12)
+		for i := range specs {
+			specs[i] = lst.FileSpec{SizeBytes: 40 * mb, RowCount: 100}
+		}
+		if _, err := tbl.AppendFiles(specs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plainEx, plainTbl := clusteringSetup(t, false)
+	load(plainTbl)
+	plain := plainEx.CompactTable(plainTbl)
+
+	zEx, zTbl := clusteringSetup(t, true)
+	load(zTbl)
+	z := zEx.CompactTable(zTbl)
+
+	if !plain.Succeeded() || !z.Succeeded() {
+		t.Fatalf("results: %+v / %+v", plain, z)
+	}
+	if z.GBHr <= plain.GBHr {
+		t.Fatalf("clustering not costed: %.4f vs %.4f GBHr", z.GBHr, plain.GBHr)
+	}
+	// Same layout outcome aside from clustering.
+	if z.Reduction() != plain.Reduction() {
+		t.Fatalf("reductions differ: %d vs %d", z.Reduction(), plain.Reduction())
+	}
+	for _, f := range plainTbl.LiveFiles() {
+		if f.Clustered {
+			t.Fatal("plain compaction produced clustered files")
+		}
+	}
+}
+
+func TestSortCostFactorHonored(t *testing.T) {
+	mk := func(factor float64) float64 {
+		ex, tbl := clusteringSetup(t, true)
+		ex.SortCostFactor = factor
+		specs := make([]lst.FileSpec, 12)
+		for i := range specs {
+			specs[i] = lst.FileSpec{SizeBytes: 40 * mb, RowCount: 100}
+		}
+		tbl.AppendFiles(specs)
+		return ex.CompactTable(tbl).GBHr
+	}
+	if mk(2.0) <= mk(0.25) {
+		t.Fatal("sort cost factor ignored")
+	}
+}

@@ -1,0 +1,237 @@
+// Package core implements AutoComp, the paper's primary contribution: a
+// modular framework for automatic data compaction in log-structured
+// tables, organized as an Observe–Orient–Decide–Act (OODA) pipeline
+// (§3.3, Figure 4):
+//
+//	candidates → [filter] → observe(stats) → [filter] → orient(traits)
+//	           → [filter] → decide(rank + select) → act(schedule + run)
+//	           → feedback
+//
+// Every stage is an interface so deployments can mix and match strategies
+// (NFR1); all algorithms are deterministic given identical inputs (NFR2);
+// and the framework talks to the lake through narrow connector interfaces
+// so it is not tied to one catalog or LST implementation (NFR3).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"autocomp/internal/lst"
+)
+
+// Table is the view of a log-structured table AutoComp needs. *lst.Table
+// satisfies it directly; other connectors (different LSTs, synthetic
+// fleets) implement it themselves (NFR3).
+type Table interface {
+	Database() string
+	Name() string
+	FullName() string
+	Spec() lst.PartitionSpec
+	Mode() lst.WriteMode
+	Prop(key string) string
+	Created() time.Duration
+	LastWrite() time.Duration
+	WriteCount() int64
+	FileCount() int
+	TotalBytes() int64
+	Partitions() []string
+	LiveFiles() []lst.DataFile
+	FilesInPartition(partition string) []lst.DataFile
+}
+
+// Connector feeds lake state into the framework according to a consistent
+// data model (§3.3).
+type Connector interface {
+	// Tables returns the onboarded tables in a deterministic order.
+	Tables() []Table
+	// QuotaUtilization returns Used/Total namespace quota for a
+	// database, or 0 when unknown.
+	QuotaUtilization(db string) float64
+	// Now returns the current virtual time.
+	Now() time.Duration
+}
+
+// Scope is the granularity of a compaction work unit (FR1).
+type Scope int
+
+// Candidate scopes (§4.1).
+const (
+	// ScopeTable covers all partitions of a table in one work unit.
+	ScopeTable Scope = iota
+	// ScopePartition covers a single partition.
+	ScopePartition
+	// ScopeSnapshot covers only recently added files, for fresh data
+	// that needs frequent access.
+	ScopeSnapshot
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeTable:
+		return "table"
+	case ScopePartition:
+		return "partition"
+	case ScopeSnapshot:
+		return "snapshot"
+	default:
+		return "unknown"
+	}
+}
+
+// Candidate is a collection of files to be compacted (§4.1), flowing
+// through the pipeline and accumulating stats, traits, and a score.
+type Candidate struct {
+	Table     Table
+	Scope     Scope
+	Partition string // set for ScopePartition
+	// FreshSince bounds ScopeSnapshot candidates: only files added at
+	// or after this virtual time belong to the work unit.
+	FreshSince time.Duration
+
+	Stats  Stats
+	Traits map[string]float64
+	Score  float64
+}
+
+// ID returns a stable identifier used for deterministic tie-breaking
+// (NFR2) and reporting.
+func (c *Candidate) ID() string {
+	switch c.Scope {
+	case ScopePartition:
+		return fmt.Sprintf("%s/%s", c.Table.FullName(), c.Partition)
+	case ScopeSnapshot:
+		return fmt.Sprintf("%s@fresh", c.Table.FullName())
+	default:
+		return c.Table.FullName()
+	}
+}
+
+// Files returns the candidate's file set according to its scope.
+func (c *Candidate) Files() []lst.DataFile {
+	switch c.Scope {
+	case ScopePartition:
+		return c.Table.FilesInPartition(c.Partition)
+	case ScopeSnapshot:
+		var out []lst.DataFile
+		for _, f := range c.Table.LiveFiles() {
+			if f.AddedAt >= c.FreshSince {
+				out = append(out, f)
+			}
+		}
+		return out
+	default:
+		return c.Table.LiveFiles()
+	}
+}
+
+// Trait returns a computed trait value (0 when absent).
+func (c *Candidate) Trait(name string) float64 { return c.Traits[name] }
+
+// Generator produces candidates from tables (the entry of the observe
+// phase). Implementations must be deterministic.
+type Generator interface {
+	Name() string
+	Candidates(tables []Table) []*Candidate
+}
+
+// TableScopeGenerator emits one table-scope candidate per table — the
+// strategy of LinkedIn's initial OpenHouse deployment (§6, §7).
+type TableScopeGenerator struct{}
+
+// Name implements Generator.
+func (TableScopeGenerator) Name() string { return "table-scope" }
+
+// Candidates implements Generator.
+func (TableScopeGenerator) Candidates(tables []Table) []*Candidate {
+	out := make([]*Candidate, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, &Candidate{Table: t, Scope: ScopeTable})
+	}
+	return out
+}
+
+// PartitionScopeGenerator emits one candidate per live partition,
+// enabling sub-table work units that can be processed independently
+// (FR1).
+type PartitionScopeGenerator struct{}
+
+// Name implements Generator.
+func (PartitionScopeGenerator) Name() string { return "partition-scope" }
+
+// Candidates implements Generator.
+func (PartitionScopeGenerator) Candidates(tables []Table) []*Candidate {
+	var out []*Candidate
+	for _, t := range tables {
+		for _, p := range t.Partitions() {
+			out = append(out, &Candidate{Table: t, Scope: ScopePartition, Partition: p})
+		}
+	}
+	return out
+}
+
+// HybridScopeGenerator chooses partition scope for partitioned tables and
+// table scope otherwise — the paper's hybrid strategy (§6).
+type HybridScopeGenerator struct{}
+
+// Name implements Generator.
+func (HybridScopeGenerator) Name() string { return "hybrid-scope" }
+
+// Candidates implements Generator.
+func (HybridScopeGenerator) Candidates(tables []Table) []*Candidate {
+	var out []*Candidate
+	for _, t := range tables {
+		if t.Spec().IsPartitioned() {
+			for _, p := range t.Partitions() {
+				out = append(out, &Candidate{Table: t, Scope: ScopePartition, Partition: p})
+			}
+		} else {
+			out = append(out, &Candidate{Table: t, Scope: ScopeTable})
+		}
+	}
+	return out
+}
+
+// SnapshotScopeGenerator emits candidates covering files added within
+// Window of now, for workloads where (reasonably) fresh data needs more
+// frequent optimization (§4.1).
+type SnapshotScopeGenerator struct {
+	Window time.Duration
+	Now    func() time.Duration
+}
+
+// Name implements Generator.
+func (SnapshotScopeGenerator) Name() string { return "snapshot-scope" }
+
+// Candidates implements Generator.
+func (g SnapshotScopeGenerator) Candidates(tables []Table) []*Candidate {
+	now := time.Duration(0)
+	if g.Now != nil {
+		now = g.Now()
+	}
+	since := now - g.Window
+	if since < 0 {
+		since = 0
+	}
+	var out []*Candidate
+	for _, t := range tables {
+		out = append(out, &Candidate{Table: t, Scope: ScopeSnapshot, FreshSince: since})
+	}
+	return out
+}
+
+// MultiGenerator concatenates the output of several generators, letting a
+// deployment consider a combination of scopes in one workflow (§4.1).
+type MultiGenerator []Generator
+
+// Name implements Generator.
+func (m MultiGenerator) Name() string { return "multi" }
+
+// Candidates implements Generator.
+func (m MultiGenerator) Candidates(tables []Table) []*Candidate {
+	var out []*Candidate
+	for _, g := range m {
+		out = append(out, g.Candidates(tables)...)
+	}
+	return out
+}

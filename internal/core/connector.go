@@ -1,0 +1,59 @@
+package core
+
+import (
+	"time"
+
+	"autocomp/internal/catalog"
+)
+
+// CatalogConnector adapts the OpenHouse-style control plane to the
+// framework's Connector interface — the deployment shape of Figure 5,
+// where AutoComp pulls lake state from the catalog.
+type CatalogConnector struct {
+	CP *catalog.ControlPlane
+}
+
+// Tables implements Connector.
+func (c CatalogConnector) Tables() []Table {
+	ts := c.CP.AllTables()
+	out := make([]Table, len(ts))
+	for i, t := range ts {
+		out[i] = t
+	}
+	return out
+}
+
+// QuotaUtilization implements Connector.
+func (c CatalogConnector) QuotaUtilization(db string) float64 {
+	return c.CP.QuotaUtilization(db)
+}
+
+// Now implements Connector.
+func (c CatalogConnector) Now() time.Duration { return c.CP.Clock().Now() }
+
+// StaticConnector serves a fixed table list — useful for tests and for
+// synthetic fleets (NFR3).
+type StaticConnector struct {
+	TableList []Table
+	Quota     func(db string) float64
+	Clock     func() time.Duration
+}
+
+// Tables implements Connector.
+func (s StaticConnector) Tables() []Table { return s.TableList }
+
+// QuotaUtilization implements Connector.
+func (s StaticConnector) QuotaUtilization(db string) float64 {
+	if s.Quota == nil {
+		return 0
+	}
+	return s.Quota(db)
+}
+
+// Now implements Connector.
+func (s StaticConnector) Now() time.Duration {
+	if s.Clock == nil {
+		return 0
+	}
+	return s.Clock()
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"autocomp/internal/catalog"
+	"autocomp/internal/cluster"
+	"autocomp/internal/compaction"
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+const (
+	mb     = storage.MB
+	target = 512 * storage.MB
+)
+
+// lake is a small simulated lake used across core tests.
+type lake struct {
+	clock *sim.Clock
+	fs    *storage.NameNode
+	cp    *catalog.ControlPlane
+	comp  *cluster.Cluster
+	exec  *compaction.Executor
+}
+
+func newLake(t *testing.T) *lake {
+	t.Helper()
+	clock := sim.NewClock()
+	fs := storage.NewNameNode(storage.DefaultConfig(), clock, sim.NewRNG(1))
+	cp := catalog.New(fs, clock)
+	comp := cluster.New(cluster.CompactionClusterConfig(), clock)
+	return &lake{
+		clock: clock,
+		fs:    fs,
+		cp:    cp,
+		comp:  comp,
+		exec: &compaction.Executor{
+			Cluster:        comp,
+			TargetFileSize: target,
+			AppPrefix:      "compaction/",
+		},
+	}
+}
+
+// addTable creates db.name with the given per-partition small-file
+// layout: parts maps partition → (count, size).
+type partLayout struct {
+	part  string
+	count int
+	size  int64
+}
+
+func (l *lake) addTable(t *testing.T, db, name string, partitioned bool, layouts []partLayout) *lst.Table {
+	t.Helper()
+	if _, err := l.cp.CreateDatabase(db, "tenant", 0); err != nil && err.Error() != "catalog: database already exists: "+db {
+		// Ignore duplicate-database errors from repeated calls.
+		_ = err
+	}
+	cfg := lst.TableConfig{Name: name}
+	if partitioned {
+		cfg.Spec = lst.PartitionSpec{Column: "d", Transform: lst.TransformMonth}
+	}
+	tbl, err := l.cp.CreateTable(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []lst.FileSpec
+	for _, pl := range layouts {
+		for i := 0; i < pl.count; i++ {
+			specs = append(specs, lst.FileSpec{Partition: pl.part, SizeBytes: pl.size, RowCount: pl.size / 100})
+		}
+	}
+	if len(specs) > 0 {
+		if _, err := tbl.AppendFiles(specs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func (l *lake) connector() Connector { return CatalogConnector{CP: l.cp} }
+
+func (l *lake) observer() StatsObserver {
+	return StatsObserver{
+		TargetFileSize: target,
+		Quota:          l.cp.QuotaUtilization,
+		Now:            l.clock.Now,
+	}
+}
+
+// --- generators ---
+
+func TestTableScopeGenerator(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "a", false, []partLayout{{"", 3, 10 * mb}})
+	l.addTable(t, "db1", "b", true, []partLayout{{"p1", 2, 10 * mb}, {"p2", 2, 10 * mb}})
+	cands := TableScopeGenerator{}.Candidates(l.connector().Tables())
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	if cands[0].Scope != ScopeTable || cands[0].ID() != "db1.a" {
+		t.Fatalf("cand = %+v", cands[0])
+	}
+}
+
+func TestPartitionScopeGenerator(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "b", true, []partLayout{{"p1", 2, 10 * mb}, {"p2", 2, 10 * mb}})
+	cands := PartitionScopeGenerator{}.Candidates(l.connector().Tables())
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	if cands[0].Scope != ScopePartition || cands[0].ID() != "db1.b/p1" {
+		t.Fatalf("cand = %v", cands[0].ID())
+	}
+}
+
+func TestHybridScopeGenerator(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "a", false, []partLayout{{"", 3, 10 * mb}})
+	l.addTable(t, "db1", "b", true, []partLayout{{"p1", 2, 10 * mb}, {"p2", 2, 10 * mb}})
+	cands := HybridScopeGenerator{}.Candidates(l.connector().Tables())
+	// a → table scope; b → two partition scopes.
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	scopes := map[string]Scope{}
+	for _, c := range cands {
+		scopes[c.ID()] = c.Scope
+	}
+	if scopes["db1.a"] != ScopeTable || scopes["db1.b/p1"] != ScopePartition {
+		t.Fatalf("scopes = %v", scopes)
+	}
+}
+
+func TestSnapshotScopeGenerator(t *testing.T) {
+	l := newLake(t)
+	tbl := l.addTable(t, "db1", "a", false, []partLayout{{"", 3, 10 * mb}})
+	l.clock.Advance(2 * time.Hour)
+	tbl.AppendFiles([]lst.FileSpec{{SizeBytes: 5 * mb, RowCount: 1}})
+	g := SnapshotScopeGenerator{Window: time.Hour, Now: l.clock.Now}
+	cands := g.Candidates(l.connector().Tables())
+	if len(cands) != 1 || cands[0].Scope != ScopeSnapshot {
+		t.Fatalf("cands = %+v", cands)
+	}
+	fresh := cands[0].Files()
+	if len(fresh) != 1 || fresh[0].SizeBytes != 5*mb {
+		t.Fatalf("fresh files = %+v", fresh)
+	}
+}
+
+func TestMultiGenerator(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "a", true, []partLayout{{"p1", 1, 10 * mb}})
+	g := MultiGenerator{TableScopeGenerator{}, PartitionScopeGenerator{}}
+	cands := g.Candidates(l.connector().Tables())
+	if len(cands) != 2 {
+		t.Fatalf("multi candidates = %d", len(cands))
+	}
+}
+
+// --- observe & filters ---
+
+func TestStatsObserver(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "a", true, []partLayout{
+		{"p1", 4, 10 * mb},
+		{"p2", 1, 600 * mb},
+	})
+	l.clock.Advance(time.Hour)
+	cands := TableScopeGenerator{}.Candidates(l.connector().Tables())
+	stats, err := l.observer().Observe(cands[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FileCount != 5 || stats.SmallFiles != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.SmallBytes != 40*mb || stats.TotalBytes != 640*mb {
+		t.Fatalf("bytes = %+v", stats)
+	}
+	if stats.TableAge != time.Hour {
+		t.Fatalf("age = %v", stats.TableAge)
+	}
+	if len(stats.FileSizes) != 5 {
+		t.Fatalf("file sizes = %d", len(stats.FileSizes))
+	}
+}
+
+func TestObserverPartitionScope(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "a", true, []partLayout{
+		{"p1", 4, 10 * mb},
+		{"p2", 7, 10 * mb},
+	})
+	cands := PartitionScopeGenerator{}.Candidates(l.connector().Tables())
+	s0, _ := l.observer().Observe(cands[0])
+	if s0.FileCount != 4 {
+		t.Fatalf("p1 stats = %+v", s0)
+	}
+}
+
+func TestPrecomputedObserver(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "a", false, []partLayout{{"", 2, 10 * mb}})
+	cands := TableScopeGenerator{}.Candidates(l.connector().Tables())
+	po := PrecomputedObserver{ByID: map[string]Stats{"db1.a": {FileCount: 42, SmallFiles: 41}}}
+	s, err := po.Observe(cands[0])
+	if err != nil || s.FileCount != 42 {
+		t.Fatalf("precomputed = %+v, %v", s, err)
+	}
+	// Fallback path.
+	po2 := PrecomputedObserver{Fallback: l.observer()}
+	s2, _ := po2.Observe(cands[0])
+	if s2.FileCount != 2 {
+		t.Fatalf("fallback = %+v", s2)
+	}
+	// No entry, no fallback → zero stats.
+	po3 := PrecomputedObserver{}
+	s3, _ := po3.Observe(cands[0])
+	if s3.FileCount != 0 {
+		t.Fatal("empty observer returned stats")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	l := newLake(t)
+	young := l.addTable(t, "db1", "young", false, []partLayout{{"", 5, 10 * mb}})
+	l.clock.Advance(48 * time.Hour)
+	old := l.addTable(t, "db1", "old", false, []partLayout{{"", 5, 10 * mb}})
+	_ = young
+	_ = old
+
+	cands := TableScopeGenerator{}.Candidates(l.connector().Tables())
+	for _, c := range cands {
+		s, _ := l.observer().Observe(c)
+		c.Stats = s
+	}
+
+	// MinTableAge drops the fresh table ("old" was created at t=48h and
+	// last written then; "young" at t=0).
+	kept := applyFilters(cands, []Filter{MinTableAge{Min: 24 * time.Hour, Now: l.clock.Now}})
+	if len(kept) != 1 || kept[0].ID() != "db1.young" {
+		t.Fatalf("age filter kept %d", len(kept))
+	}
+
+	// QuietWindow drops recently written tables.
+	kept = applyFilters(cands, []Filter{QuietWindow{Min: time.Hour, Now: l.clock.Now}})
+	if len(kept) != 1 || kept[0].ID() != "db1.young" {
+		t.Fatalf("quiet filter kept %v", len(kept))
+	}
+
+	// MinSmallFiles.
+	kept = applyFilters(cands, []Filter{MinSmallFiles{Min: 6}})
+	if len(kept) != 0 {
+		t.Fatalf("small-files filter kept %d", len(kept))
+	}
+
+	// MinTotalBytes.
+	kept = applyFilters(cands, []Filter{MinTotalBytes{Min: 40 * mb}})
+	if len(kept) != 2 {
+		t.Fatalf("bytes filter kept %d", len(kept))
+	}
+
+	// FilterFunc adapter.
+	kept = applyFilters(cands, []Filter{FilterFunc{FilterName: "none", Fn: func(*Candidate) bool { return false }}})
+	if len(kept) != 0 {
+		t.Fatal("filter func ignored")
+	}
+}
+
+func TestNotIntermediateFilter(t *testing.T) {
+	l := newLake(t)
+	l.cp.CreateDatabase("db2", "t", 0)
+	tbl, err := l.cp.CreateTable("db2", lst.TableConfig{
+		Name:  "scratch",
+		Props: map[string]string{"intermediate": "true"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tbl
+	cands := TableScopeGenerator{}.Candidates(l.connector().Tables())
+	kept := applyFilters(cands, []Filter{NotIntermediate{}})
+	if len(kept) != 0 {
+		t.Fatalf("intermediate not filtered: %d", len(kept))
+	}
+}
+
+func TestMaxTraitValueFilter(t *testing.T) {
+	c := &Candidate{Traits: map[string]float64{"compute_cost_gbhr": 100}}
+	f := MaxTraitValue{TraitName: "compute_cost_gbhr", Max: 50}
+	if f.Keep(c) {
+		t.Fatal("over-budget candidate kept")
+	}
+	c.Traits["compute_cost_gbhr"] = 10
+	if !f.Keep(c) {
+		t.Fatal("cheap candidate dropped")
+	}
+}
+
+// --- traits ---
+
+func TestFileCountReductionTrait(t *testing.T) {
+	c := &Candidate{Stats: Stats{FileCount: 10, SmallFiles: 7}}
+	if v := (FileCountReduction{}).Value(c); v != 7 {
+		t.Fatalf("ΔF = %v", v)
+	}
+	if v := (RelativeFileCountReduction{}).Value(c); v != 0.7 {
+		t.Fatalf("relative ΔF = %v", v)
+	}
+	empty := &Candidate{}
+	if v := (RelativeFileCountReduction{}).Value(empty); v != 0 {
+		t.Fatalf("empty relative = %v", v)
+	}
+}
+
+func TestComputeCostTrait(t *testing.T) {
+	// GBHr = mem × bytes/throughput: 64 × (100GB / 200GB/hr) = 32.
+	tr := ComputeCost{ExecutorMemoryGB: 64, RewriteBytesPerHour: 200 * float64(storage.GB)}
+	c := &Candidate{Stats: Stats{SmallBytes: 100 * storage.GB}}
+	if v := tr.Value(c); v != 32 {
+		t.Fatalf("GBHr = %v", v)
+	}
+	if v := (ComputeCost{}).Value(c); v != 0 {
+		t.Fatalf("zero-throughput cost = %v", v)
+	}
+	if (ComputeCost{}).Direction() != Cost {
+		t.Fatal("compute cost direction")
+	}
+}
+
+func TestFileEntropyTrait(t *testing.T) {
+	tr := FileEntropy{TargetFileSize: target}
+	perfect := &Candidate{Stats: Stats{FileSizes: []int64{target, 2 * target}}}
+	if v := tr.Value(perfect); v != 0 {
+		t.Fatalf("perfect layout entropy = %v", v)
+	}
+	// Many tiny files → high entropy; fewer/larger → lower.
+	frag := &Candidate{Stats: Stats{FileSizes: []int64{mb, mb, mb, mb}}}
+	mild := &Candidate{Stats: Stats{FileSizes: []int64{400 * mb, 400 * mb}}}
+	if tr.Value(frag) <= tr.Value(mild) {
+		t.Fatalf("entropy ordering: frag %v <= mild %v", tr.Value(frag), tr.Value(mild))
+	}
+	if (FileEntropy{}).Value(frag) != 0 {
+		t.Fatal("zero-target entropy should be 0")
+	}
+}
+
+func TestQuotaAndDeltaTraits(t *testing.T) {
+	c := &Candidate{Stats: Stats{QuotaUtilization: 0.8, DeltaFiles: 3}}
+	if (QuotaPressure{}).Value(c) != 0.8 {
+		t.Fatal("quota trait")
+	}
+	if (DeltaFileDebt{}).Value(c) != 3 {
+		t.Fatal("delta trait")
+	}
+}
+
+func TestTraitFunc(t *testing.T) {
+	tf := TraitFunc{TraitName: "x", Dir: Cost, Fn: func(*Candidate) float64 { return 5 }}
+	if tf.Name() != "x" || tf.Direction() != Cost || tf.Value(nil) != 5 {
+		t.Fatal("trait func")
+	}
+}
+
+func TestOrientComputesAllTraits(t *testing.T) {
+	c := &Candidate{Stats: Stats{SmallFiles: 3, SmallBytes: 30 * mb, FileCount: 4}}
+	orient([]*Candidate{c}, []Trait{
+		FileCountReduction{},
+		ComputeCost{ExecutorMemoryGB: 64, RewriteBytesPerHour: float64(storage.GB)},
+	})
+	if c.Trait("file_count_reduction") != 3 {
+		t.Fatalf("traits = %v", c.Traits)
+	}
+	if c.Trait("compute_cost_gbhr") == 0 {
+		t.Fatal("cost trait missing")
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"autocomp/internal/metrics"
+)
+
+// Ranker orders candidates for execution (the decide phase, §4.3). Rank
+// sets each candidate's Score and returns candidates in descending score
+// order with deterministic tie-breaking (NFR2). Candidates a policy
+// rejects outright are omitted.
+type Ranker interface {
+	Rank(cands []*Candidate) []*Candidate
+}
+
+// ThresholdPolicy is the unconstrained-resource decision function (§4.3):
+// a candidate passes when the named trait meets the threshold, and its
+// score is the raw trait value. The paper's example: trigger when the
+// estimated file-count reduction reaches at least 10%.
+type ThresholdPolicy struct {
+	Trait     Trait
+	Threshold float64
+}
+
+// Rank implements Ranker.
+func (p ThresholdPolicy) Rank(cands []*Candidate) []*Candidate {
+	var out []*Candidate
+	for _, c := range cands {
+		v := c.Trait(p.Trait.Name())
+		if v >= p.Threshold {
+			c.Score = v
+			out = append(out, c)
+		}
+	}
+	sortByScore(out)
+	return out
+}
+
+// Objective is one weighted term of the scalarized MOOP function.
+type Objective struct {
+	Trait Trait
+	// Weight is the term's relative importance; weights must sum to 1.
+	Weight float64
+}
+
+// MOOPRanker implements the resource-constrained scenario (§4.3): the
+// multi-objective optimization problem is scalarized into a weighted sum
+// over min-max-normalized traits,
+//
+//	S_c = Σ_i w_i × T'_i,c        (benefit terms add, cost terms subtract)
+//
+// with T'_i,c = (T_i,c − min T_i) / (max T_i − min T_i).
+type MOOPRanker struct {
+	Objectives []Objective
+	// DynamicWeights, when set, returns per-candidate weights (summing
+	// to 1) overriding the static ones — the LinkedIn deployment derives
+	// w1 from quota utilization (§7).
+	DynamicWeights func(c *Candidate) []float64
+}
+
+// Validate checks that weights are present and sum to 1 (±1e-6).
+func (r MOOPRanker) Validate() error {
+	if len(r.Objectives) == 0 {
+		return fmt.Errorf("core: MOOPRanker needs at least one objective")
+	}
+	if r.DynamicWeights != nil {
+		return nil // dynamic weights are validated per candidate
+	}
+	sum := 0.0
+	for _, o := range r.Objectives {
+		if o.Weight < 0 {
+			return fmt.Errorf("core: negative weight %v for %s", o.Weight, o.Trait.Name())
+		}
+		sum += o.Weight
+	}
+	if sum < 1-1e-6 || sum > 1+1e-6 {
+		return fmt.Errorf("core: objective weights sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Rank implements Ranker.
+func (r MOOPRanker) Rank(cands []*Candidate) []*Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	// Min-max normalize each trait across the candidate set.
+	norm := make([][]float64, len(r.Objectives))
+	for i, o := range r.Objectives {
+		raw := make([]float64, len(cands))
+		for j, c := range cands {
+			raw[j] = c.Trait(o.Trait.Name())
+		}
+		norm[i] = metrics.MinMaxNormalize(raw)
+	}
+	out := make([]*Candidate, len(cands))
+	copy(out, cands)
+	for j, c := range out {
+		weights := r.weightsFor(c)
+		score := 0.0
+		for i, o := range r.Objectives {
+			term := weights[i] * norm[i][j]
+			if o.Trait.Direction() == Cost {
+				score -= term
+			} else {
+				score += term
+			}
+		}
+		c.Score = score
+	}
+	sortByScore(out)
+	return out
+}
+
+func (r MOOPRanker) weightsFor(c *Candidate) []float64 {
+	if r.DynamicWeights != nil {
+		if w := r.DynamicWeights(c); len(w) == len(r.Objectives) {
+			return w
+		}
+	}
+	w := make([]float64, len(r.Objectives))
+	for i, o := range r.Objectives {
+		w[i] = o.Weight
+	}
+	return w
+}
+
+// QuotaAdaptiveWeights returns a DynamicWeights function for a
+// two-objective MOOP (benefit, cost) implementing the paper's production
+// weighting (§7):
+//
+//	w1 = 0.5 × (1 + UsedQuota/TotalQuota),  w2 = 1 − w1
+//
+// A tenant at quota gets w1 = 1 (pure benefit); an empty tenant gets
+// w1 = 0.5 (balanced).
+func QuotaAdaptiveWeights() func(c *Candidate) []float64 {
+	return func(c *Candidate) []float64 {
+		u := c.Stats.QuotaUtilization
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		w1 := 0.5 * (1 + u)
+		return []float64{w1, 1 - w1}
+	}
+}
+
+// sortByScore orders descending by score, breaking ties by candidate ID
+// so identical inputs always produce identical rankings (NFR2).
+func sortByScore(cands []*Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].ID() < cands[j].ID()
+	})
+}
+
+// Selector picks the work units to execute from the ranked list (§4.3).
+type Selector interface {
+	Select(ranked []*Candidate) []*Candidate
+}
+
+// TopK selects the k highest-ranked candidates — LinkedIn's initial
+// fixed-k rollout (§7: k≈10 for predictable behaviour).
+type TopK struct{ K int }
+
+// Select implements Selector.
+func (s TopK) Select(ranked []*Candidate) []*Candidate {
+	if s.K <= 0 || s.K >= len(ranked) {
+		return ranked
+	}
+	return ranked[:s.K]
+}
+
+// BudgetSelector greedily fits as many high-priority candidates as
+// possible within a compute budget, reading each candidate's estimated
+// cost from CostTrait — the paper's dynamic-k selection (§4.3, §7:
+// 226 TBHr ⇒ k≈2500). Candidates whose cost exceeds the remaining budget
+// are skipped, not terminal: a cheaper lower-ranked candidate may still
+// fit.
+type BudgetSelector struct {
+	// BudgetGBHr is the total compute budget per run.
+	BudgetGBHr float64
+	// CostTrait names the trait holding each candidate's estimated
+	// GBHr (defaults to "compute_cost_gbhr").
+	CostTrait string
+	// MaxK optionally caps the number selected regardless of budget.
+	MaxK int
+}
+
+// Select implements Selector.
+func (s BudgetSelector) Select(ranked []*Candidate) []*Candidate {
+	costName := s.CostTrait
+	if costName == "" {
+		costName = ComputeCost{}.Name()
+	}
+	var out []*Candidate
+	remaining := s.BudgetGBHr
+	for _, c := range ranked {
+		if s.MaxK > 0 && len(out) >= s.MaxK {
+			break
+		}
+		cost := c.Trait(costName)
+		if cost > remaining {
+			continue
+		}
+		remaining -= cost
+		out = append(out, c)
+	}
+	return out
+}
+
+// SelectAll passes every ranked candidate through (useful with
+// ThresholdPolicy, which already gates admission).
+type SelectAll struct{}
+
+// Select implements Selector.
+func (SelectAll) Select(ranked []*Candidate) []*Candidate { return ranked }

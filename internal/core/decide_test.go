@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// mkCand builds a bare candidate with preset traits for ranking tests.
+func mkCand(id string, traits map[string]float64) *Candidate {
+	return &Candidate{
+		Table:  fakeTable{name: id},
+		Scope:  ScopeTable,
+		Traits: traits,
+		Stats:  Stats{},
+	}
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	tr := RelativeFileCountReduction{}
+	p := ThresholdPolicy{Trait: tr, Threshold: 0.1}
+	cands := []*Candidate{
+		mkCand("a.t1", map[string]float64{tr.Name(): 0.05}),
+		mkCand("a.t2", map[string]float64{tr.Name(): 0.5}),
+		mkCand("a.t3", map[string]float64{tr.Name(): 0.2}),
+	}
+	ranked := p.Rank(cands)
+	if len(ranked) != 2 {
+		t.Fatalf("passed = %d", len(ranked))
+	}
+	if ranked[0].ID() != "a.t2" || ranked[1].ID() != "a.t3" {
+		t.Fatalf("order = %v, %v", ranked[0].ID(), ranked[1].ID())
+	}
+}
+
+func TestMOOPRankerBalancesBenefitAndCost(t *testing.T) {
+	benefit := FileCountReduction{}
+	cost := ComputeCost{ExecutorMemoryGB: 64, RewriteBytesPerHour: 1}
+	r := MOOPRanker{Objectives: []Objective{
+		{Trait: benefit, Weight: 0.7},
+		{Trait: cost, Weight: 0.3},
+	}}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper's example (§4.2): two candidates with reductions 200 vs 100.
+	// Equal costs → prefer the bigger reduction; much higher cost on the
+	// first → the ratio flips.
+	equalCost := []*Candidate{
+		mkCand("a.big", map[string]float64{benefit.Name(): 200, cost.Name(): 50}),
+		mkCand("a.small", map[string]float64{benefit.Name(): 100, cost.Name(): 50}),
+		mkCand("a.zero", map[string]float64{benefit.Name(): 0, cost.Name(): 50}),
+	}
+	ranked := r.Rank(equalCost)
+	if ranked[0].ID() != "a.big" {
+		t.Fatalf("equal-cost winner = %v", ranked[0].ID())
+	}
+	costly := []*Candidate{
+		mkCand("a.big", map[string]float64{benefit.Name(): 110, cost.Name(): 5000}),
+		mkCand("a.small", map[string]float64{benefit.Name(): 100, cost.Name(): 50}),
+		mkCand("a.zero", map[string]float64{benefit.Name(): 0, cost.Name(): 40}),
+	}
+	ranked = r.Rank(costly)
+	if ranked[0].ID() != "a.small" {
+		t.Fatalf("cost-aware winner = %v (scores %v %v %v)",
+			ranked[0].ID(), ranked[0].Score, ranked[1].Score, ranked[2].Score)
+	}
+}
+
+func TestMOOPRankerDeterministicTieBreak(t *testing.T) {
+	benefit := FileCountReduction{}
+	r := MOOPRanker{Objectives: []Objective{{Trait: benefit, Weight: 1}}}
+	cands := []*Candidate{
+		mkCand("z.t", map[string]float64{benefit.Name(): 5}),
+		mkCand("a.t", map[string]float64{benefit.Name(): 5}),
+		mkCand("m.t", map[string]float64{benefit.Name(): 5}),
+	}
+	ranked := r.Rank(cands)
+	if ranked[0].ID() != "a.t" || ranked[1].ID() != "m.t" || ranked[2].ID() != "z.t" {
+		t.Fatalf("tie order = %v %v %v", ranked[0].ID(), ranked[1].ID(), ranked[2].ID())
+	}
+}
+
+// Property: MOOP ranking is a permutation of its input and is identical
+// across repeated runs on the same input (NFR2).
+func TestMOOPRankerDeterminismProperty(t *testing.T) {
+	benefit := FileCountReduction{}
+	cost := TraitFunc{TraitName: "c", Dir: Cost, Fn: nil}
+	r := MOOPRanker{Objectives: []Objective{
+		{Trait: benefit, Weight: 0.6},
+		{Trait: cost, Weight: 0.4},
+	}}
+	f := func(vals []uint16) bool {
+		var a, b []*Candidate
+		for i, v := range vals {
+			traits := map[string]float64{
+				benefit.Name(): float64(v % 997),
+				"c":            float64((v * 31) % 1013),
+			}
+			id := "db.t" + itoa(i)
+			a = append(a, mkCand(id, traits))
+			traitsCopy := map[string]float64{}
+			for k, val := range traits {
+				traitsCopy[k] = val
+			}
+			b = append(b, mkCand(id, traitsCopy))
+		}
+		ra, rb := r.Rank(a), r.Rank(b)
+		if len(ra) != len(vals) || len(rb) != len(vals) {
+			return false
+		}
+		for i := range ra {
+			if ra[i].ID() != rb[i].ID() {
+				return false
+			}
+			if math.IsNaN(ra[i].Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMOOPValidate(t *testing.T) {
+	b := FileCountReduction{}
+	if err := (MOOPRanker{}).Validate(); err == nil {
+		t.Fatal("empty objectives accepted")
+	}
+	if err := (MOOPRanker{Objectives: []Objective{{Trait: b, Weight: 0.5}}}).Validate(); err == nil {
+		t.Fatal("weights summing to 0.5 accepted")
+	}
+	if err := (MOOPRanker{Objectives: []Objective{{Trait: b, Weight: -1}, {Trait: b, Weight: 2}}}).Validate(); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	ok := MOOPRanker{Objectives: []Objective{{Trait: b, Weight: 0.7}, {Trait: b, Weight: 0.3}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dyn := MOOPRanker{
+		Objectives:     []Objective{{Trait: b}, {Trait: b}},
+		DynamicWeights: QuotaAdaptiveWeights(),
+	}
+	if err := dyn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaAdaptiveWeights(t *testing.T) {
+	w := QuotaAdaptiveWeights()
+	c := &Candidate{Stats: Stats{QuotaUtilization: 0}}
+	got := w(c)
+	if got[0] != 0.5 || got[1] != 0.5 {
+		t.Fatalf("empty tenant weights = %v", got)
+	}
+	c.Stats.QuotaUtilization = 1
+	got = w(c)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("full tenant weights = %v", got)
+	}
+	c.Stats.QuotaUtilization = 0.5
+	got = w(c)
+	if math.Abs(got[0]-0.75) > 1e-12 {
+		t.Fatalf("half tenant w1 = %v", got[0])
+	}
+	// Clamped outside [0,1].
+	c.Stats.QuotaUtilization = 2
+	if got := w(c); got[0] != 1 {
+		t.Fatalf("overfull tenant w1 = %v", got[0])
+	}
+}
+
+func TestMOOPQuotaPressureRaisesPriority(t *testing.T) {
+	benefit := FileCountReduction{}
+	cost := TraitFunc{TraitName: "c", Dir: Cost}
+	r := MOOPRanker{
+		Objectives:     []Objective{{Trait: benefit}, {Trait: cost}},
+		DynamicWeights: QuotaAdaptiveWeights(),
+	}
+	// Same benefit/cost traits; the candidate in the quota-squeezed
+	// database must rank first because its w1 is larger.
+	a := mkCand("a.t", map[string]float64{benefit.Name(): 100, "c": 100})
+	a.Stats.QuotaUtilization = 0.95
+	b := mkCand("b.t", map[string]float64{benefit.Name(): 100, "c": 100})
+	b.Stats.QuotaUtilization = 0.05
+	// Add a spread candidate so normalization is non-degenerate.
+	z := mkCand("z.t", map[string]float64{benefit.Name(): 0, "c": 0})
+	ranked := r.Rank([]*Candidate{b, a, z})
+	if ranked[0].ID() != "a.t" {
+		t.Fatalf("quota pressure ignored: first = %v", ranked[0].ID())
+	}
+}
+
+func TestTopKSelector(t *testing.T) {
+	cands := []*Candidate{mkCand("a.1", nil), mkCand("a.2", nil), mkCand("a.3", nil)}
+	if got := (TopK{K: 2}).Select(cands); len(got) != 2 {
+		t.Fatalf("topk = %d", len(got))
+	}
+	if got := (TopK{K: 0}).Select(cands); len(got) != 3 {
+		t.Fatalf("k=0 = %d", len(got))
+	}
+	if got := (TopK{K: 10}).Select(cands); len(got) != 3 {
+		t.Fatalf("k>n = %d", len(got))
+	}
+	if got := (SelectAll{}).Select(cands); len(got) != 3 {
+		t.Fatal("select all")
+	}
+}
+
+func TestBudgetSelectorGreedyFill(t *testing.T) {
+	cost := ComputeCost{}.Name()
+	cands := []*Candidate{
+		mkCand("a.1", map[string]float64{cost: 60}),
+		mkCand("a.2", map[string]float64{cost: 30}),
+		mkCand("a.3", map[string]float64{cost: 30}),
+		mkCand("a.4", map[string]float64{cost: 5}),
+	}
+	sel := BudgetSelector{BudgetGBHr: 100}.Select(cands)
+	// 60 + 30 fit; the second 30 exceeds the remaining 10 and is
+	// skipped, but the 5 fits.
+	if len(sel) != 3 {
+		t.Fatalf("selected = %d", len(sel))
+	}
+	var total float64
+	for _, c := range sel {
+		total += c.Trait(cost)
+	}
+	if total > 100 {
+		t.Fatalf("budget exceeded: %v", total)
+	}
+	if sel[2].ID() != "a.4" {
+		t.Fatalf("skip-and-continue failed: %v", sel[2].ID())
+	}
+}
+
+func TestBudgetSelectorMaxK(t *testing.T) {
+	cost := ComputeCost{}.Name()
+	var cands []*Candidate
+	for i := 0; i < 10; i++ {
+		cands = append(cands, mkCand("a.t"+itoa(i), map[string]float64{cost: 1}))
+	}
+	sel := BudgetSelector{BudgetGBHr: 100, MaxK: 4}.Select(cands)
+	if len(sel) != 4 {
+		t.Fatalf("maxk = %d", len(sel))
+	}
+}
+
+// Property: budget selector never exceeds its budget.
+func TestBudgetSelectorNeverExceedsProperty(t *testing.T) {
+	cost := ComputeCost{}.Name()
+	f := func(costs []uint8, budget uint16) bool {
+		var cands []*Candidate
+		for i, cVal := range costs {
+			cands = append(cands, mkCand("db.t"+itoa(i), map[string]float64{cost: float64(cVal)}))
+		}
+		sel := BudgetSelector{BudgetGBHr: float64(budget)}.Select(cands)
+		var total float64
+		for _, c := range sel {
+			total += c.Trait(cost)
+		}
+		return total <= float64(budget)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

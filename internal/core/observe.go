@@ -1,0 +1,258 @@
+package core
+
+import (
+	"time"
+)
+
+// Stats is the standardized statistics layout produced by the observe
+// phase (§4.1): generic metrics every platform can provide plus custom
+// metrics that may not be available everywhere.
+type Stats struct {
+	// Generic statistics.
+	FileCount  int
+	TotalBytes int64
+	// SmallFiles and SmallBytes cover files below the target file size.
+	SmallFiles int
+	SmallBytes int64
+	// FileSizes holds the candidate's file sizes (bytes), used by
+	// distribution-shaped traits such as entropy.
+	FileSizes []int64
+	// DeltaFiles counts merge-on-read delta files awaiting merge.
+	DeltaFiles int
+	// UnclusteredBytes is the data volume not yet under a clustering
+	// layout (feeds the §8 layout-optimization trait).
+	UnclusteredBytes int64
+
+	// Custom statistics (§4.1: access patterns, usage metrics, ...).
+	TableAge       time.Duration
+	SinceLastWrite time.Duration
+	// NewestFileAt is the add-time of the candidate's youngest file;
+	// unlike SinceLastWrite it is scoped to the candidate (a partition
+	// candidate only reflects writes to that partition).
+	NewestFileAt     time.Duration
+	WriteCount       int64
+	QuotaUtilization float64
+	Custom           map[string]float64
+}
+
+// Observer extracts statistics for a candidate (the observe phase).
+type Observer interface {
+	Observe(c *Candidate) (Stats, error)
+}
+
+// StatsObserver is the default observer: it derives the standard layout
+// from the candidate's file set and the connector's quota information.
+type StatsObserver struct {
+	// TargetFileSize classifies small files (512 MB in the paper).
+	TargetFileSize int64
+	// Quota supplies per-database quota utilization; nil means 0.
+	Quota func(db string) float64
+	// Now supplies virtual time for age computations; nil means 0.
+	Now func() time.Duration
+}
+
+// Observe implements Observer.
+func (o StatsObserver) Observe(c *Candidate) (Stats, error) {
+	files := c.Files()
+	s := Stats{
+		FileCount: len(files),
+		FileSizes: make([]int64, 0, len(files)),
+	}
+	for _, f := range files {
+		s.TotalBytes += f.SizeBytes
+		s.FileSizes = append(s.FileSizes, f.SizeBytes)
+		if f.SizeBytes < o.TargetFileSize {
+			s.SmallFiles++
+			s.SmallBytes += f.SizeBytes
+		}
+		if f.IsDelta {
+			s.DeltaFiles++
+		}
+		if !f.Clustered {
+			s.UnclusteredBytes += f.SizeBytes
+		}
+		if f.AddedAt > s.NewestFileAt {
+			s.NewestFileAt = f.AddedAt
+		}
+	}
+	now := time.Duration(0)
+	if o.Now != nil {
+		now = o.Now()
+	}
+	s.TableAge = now - c.Table.Created()
+	s.SinceLastWrite = now - c.Table.LastWrite()
+	s.WriteCount = c.Table.WriteCount()
+	if o.Quota != nil {
+		s.QuotaUtilization = o.Quota(c.Table.Database())
+	}
+	return s, nil
+}
+
+// PrecomputedObserver serves stats computed elsewhere (e.g. a metadata
+// warehouse): useful for fleet-scale runs where touching every file is
+// infeasible. Missing candidates fall back to the Fallback observer when
+// set, or empty stats.
+type PrecomputedObserver struct {
+	ByID     map[string]Stats
+	Fallback Observer
+}
+
+// Observe implements Observer.
+func (o PrecomputedObserver) Observe(c *Candidate) (Stats, error) {
+	if s, ok := o.ByID[c.ID()]; ok {
+		return s, nil
+	}
+	if o.Fallback != nil {
+		return o.Fallback.Observe(c)
+	}
+	return Stats{}, nil
+}
+
+// Filter refines the candidate pool; filters run before observe, after
+// observe, and after orient (§3.3, §4.1). Keep returns false to drop the
+// candidate.
+type Filter interface {
+	Name() string
+	Keep(c *Candidate) bool
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc struct {
+	FilterName string
+	Fn         func(c *Candidate) bool
+}
+
+// Name implements Filter.
+func (f FilterFunc) Name() string { return f.FilterName }
+
+// Keep implements Filter.
+func (f FilterFunc) Keep(c *Candidate) bool { return f.Fn(c) }
+
+// MinTableAge drops tables created within the window — OpenHouse skips
+// recently created tables to avoid spending budget on tables that do not
+// affect long-term system health (§4.1).
+type MinTableAge struct {
+	Min time.Duration
+	Now func() time.Duration
+}
+
+// Name implements Filter.
+func (MinTableAge) Name() string { return "min-table-age" }
+
+// Keep implements Filter.
+func (f MinTableAge) Keep(c *Candidate) bool {
+	now := time.Duration(0)
+	if f.Now != nil {
+		now = f.Now()
+	}
+	return now-c.Table.Created() >= f.Min
+}
+
+// NotIntermediate drops tables tagged as intermediate/scratch (§4.1:
+// avoid redundant effort on tables created as intermediates).
+type NotIntermediate struct{}
+
+// Name implements Filter.
+func (NotIntermediate) Name() string { return "not-intermediate" }
+
+// Keep implements Filter.
+func (NotIntermediate) Keep(c *Candidate) bool {
+	return c.Table.Prop("intermediate") != "true"
+}
+
+// QuietWindow drops candidates whose table saw a write within Min —
+// compacting a hot table invites write-write conflicts (§4.1).
+type QuietWindow struct {
+	Min time.Duration
+	Now func() time.Duration
+}
+
+// Name implements Filter.
+func (QuietWindow) Name() string { return "quiet-window" }
+
+// Keep implements Filter.
+func (f QuietWindow) Keep(c *Candidate) bool {
+	now := time.Duration(0)
+	if f.Now != nil {
+		now = f.Now()
+	}
+	return now-c.Table.LastWrite() >= f.Min
+}
+
+// CandidateQuiet is a post-observe filter implementing §3.3's example:
+// skip candidates that received writes within Min, to avoid conflicts
+// during compaction. It uses the candidate-scoped newest-file time, so it
+// composes with fine-grained work units (FR1): a hot partition is
+// deferred while the rest of its table still compacts — whereas at table
+// scope the filter would park every actively written table.
+type CandidateQuiet struct {
+	Min time.Duration
+	Now func() time.Duration
+}
+
+// Name implements Filter.
+func (CandidateQuiet) Name() string { return "candidate-quiet" }
+
+// Keep implements Filter.
+func (f CandidateQuiet) Keep(c *Candidate) bool {
+	now := time.Duration(0)
+	if f.Now != nil {
+		now = f.Now()
+	}
+	return now-c.Stats.NewestFileAt >= f.Min
+}
+
+// MinSmallFiles is a post-observe filter: candidates with fewer small
+// files than Min are not worth a compaction task.
+type MinSmallFiles struct{ Min int }
+
+// Name implements Filter.
+func (MinSmallFiles) Name() string { return "min-small-files" }
+
+// Keep implements Filter.
+func (f MinSmallFiles) Keep(c *Candidate) bool { return c.Stats.SmallFiles >= f.Min }
+
+// MinTotalBytes is a post-observe filter skipping tables that are too
+// small to matter (§3.3's example filter).
+type MinTotalBytes struct{ Min int64 }
+
+// Name implements Filter.
+func (MinTotalBytes) Name() string { return "min-total-bytes" }
+
+// Keep implements Filter.
+func (f MinTotalBytes) Keep(c *Candidate) bool { return c.Stats.TotalBytes >= f.Min }
+
+// MaxTraitValue is a post-orient filter: candidates whose named trait
+// exceeds Max are discarded — e.g. dropping work units whose compute cost
+// exceeds the allocated budget (§4.2).
+type MaxTraitValue struct {
+	TraitName string
+	Max       float64
+}
+
+// Name implements Filter.
+func (f MaxTraitValue) Name() string { return "max-" + f.TraitName }
+
+// Keep implements Filter.
+func (f MaxTraitValue) Keep(c *Candidate) bool { return c.Trait(f.TraitName) <= f.Max }
+
+// applyFilters returns the candidates every filter keeps.
+func applyFilters(cands []*Candidate, filters []Filter) []*Candidate {
+	if len(filters) == 0 {
+		return cands
+	}
+	out := cands[:0:0]
+	for _, c := range cands {
+		keep := true
+		for _, f := range filters {
+			if !f.Keep(c) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out
+}

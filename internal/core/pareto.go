@@ -1,0 +1,141 @@
+package core
+
+import "autocomp/internal/metrics"
+
+// This file implements the paper's §8 future direction "Navigating
+// Multi-Objective Trade-offs": instead of collapsing objectives into one
+// weighted score (which risks overemphasizing one metric), expose the
+// Pareto frontier — the set of non-dominated candidates, where improving
+// one objective necessarily worsens another — and rank by non-dominated
+// sorting.
+
+// dominates reports whether candidate a dominates b under the objectives:
+// a is at least as good on every objective (higher benefit, lower cost)
+// and strictly better on at least one.
+func dominates(a, b *Candidate, objs []Objective) bool {
+	strict := false
+	for _, o := range objs {
+		av, bv := a.Trait(o.Trait.Name()), b.Trait(o.Trait.Name())
+		if o.Trait.Direction() == Cost {
+			av, bv = -av, -bv
+		}
+		if av < bv {
+			return false
+		}
+		if av > bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFrontier returns the non-dominated candidates under the
+// objectives, in the input's relative order (deterministic).
+func ParetoFrontier(cands []*Candidate, objs []Objective) []*Candidate {
+	var out []*Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, other := range cands {
+			if i == j {
+				continue
+			}
+			if dominates(other, c, objs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ParetoLayers partitions candidates into non-dominated layers
+// (NSGA-style non-dominated sorting): layer 0 is the Pareto frontier,
+// layer 1 the frontier of the remainder, and so on.
+func ParetoLayers(cands []*Candidate, objs []Objective) [][]*Candidate {
+	remaining := make([]*Candidate, len(cands))
+	copy(remaining, cands)
+	var layers [][]*Candidate
+	for len(remaining) > 0 {
+		front := ParetoFrontier(remaining, objs)
+		if len(front) == 0 {
+			// Defensive: cannot happen (a finite set always has a
+			// non-dominated element), but avoid an infinite loop.
+			front = remaining
+		}
+		layers = append(layers, front)
+		inFront := make(map[*Candidate]bool, len(front))
+		for _, c := range front {
+			inFront[c] = true
+		}
+		next := remaining[:0:0]
+		for _, c := range remaining {
+			if !inFront[c] {
+				next = append(next, c)
+			}
+		}
+		remaining = next
+	}
+	return layers
+}
+
+// ParetoRanker ranks by non-dominated sorting: frontier candidates first,
+// then successive layers. Within a layer, candidates are ordered by the
+// weighted scalarization (so operators still control intra-layer
+// priorities), with deterministic ID tie-breaks. The resulting Score is
+// layered: candidates in earlier layers always outrank later ones.
+//
+// Compared to MOOPRanker, no frontier solution can be displaced by a
+// dominated one regardless of weight choice — the §8 safeguard against
+// collapsing objectives into a single score.
+type ParetoRanker struct {
+	Objectives []Objective
+}
+
+// Validate checks the ranker's configuration.
+func (r ParetoRanker) Validate() error {
+	return MOOPRanker{Objectives: r.Objectives}.Validate()
+}
+
+// Rank implements Ranker.
+func (r ParetoRanker) Rank(cands []*Candidate) []*Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	// Scalarized sub-scores in [0, 1] for intra-layer ordering.
+	norm := make([][]float64, len(r.Objectives))
+	for i, o := range r.Objectives {
+		raw := make([]float64, len(cands))
+		for j, c := range cands {
+			raw[j] = c.Trait(o.Trait.Name())
+		}
+		norm[i] = metrics.MinMaxNormalize(raw)
+	}
+	sub := make(map[*Candidate]float64, len(cands))
+	for j, c := range cands {
+		s := 0.0
+		for i, o := range r.Objectives {
+			term := o.Weight * norm[i][j]
+			if o.Trait.Direction() == Cost {
+				s -= term
+			} else {
+				s += term
+			}
+		}
+		// Map to [0, 1).
+		sub[c] = (s + 1) / 2.001
+	}
+
+	layers := ParetoLayers(cands, r.Objectives)
+	var out []*Candidate
+	for li, layer := range layers {
+		for _, c := range layer {
+			c.Score = float64(len(layers)-li) + sub[c]
+		}
+		sortByScore(layer)
+		out = append(out, layer...)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"autocomp/internal/compaction"
+)
+
+// Config wires an AutoComp pipeline. Connector, Generator, Observer,
+// Traits, and Ranker are required; Selector defaults to SelectAll,
+// Scheduler to SequentialScheduler. Runner is required to execute (Act /
+// RunOnce) but not to Decide.
+type Config struct {
+	Connector Connector
+	Generator Generator
+
+	// Filters at the three optional refinement points (§3.3).
+	PreFilters   []Filter // before observe (identity/metadata only)
+	StatsFilters []Filter // after observe (stats available)
+	TraitFilters []Filter // after orient (traits available)
+
+	Observer Observer
+	Traits   []Trait
+	Ranker   Ranker
+	Selector Selector
+
+	Scheduler Scheduler
+	Runner    Runner
+
+	// OnReport hooks implement the feedback loop from act back to
+	// observe (§3.3): estimator ledgers, caches, telemetry.
+	OnReport []func(*Report)
+}
+
+// Service is a configured AutoComp instance.
+type Service struct {
+	cfg Config
+}
+
+// NewService validates cfg and returns a runnable service.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Connector == nil {
+		return nil, fmt.Errorf("core: Config.Connector is required")
+	}
+	if cfg.Generator == nil {
+		return nil, fmt.Errorf("core: Config.Generator is required")
+	}
+	if cfg.Observer == nil {
+		return nil, fmt.Errorf("core: Config.Observer is required")
+	}
+	if len(cfg.Traits) == 0 {
+		return nil, fmt.Errorf("core: at least one Trait is required")
+	}
+	if cfg.Ranker == nil {
+		return nil, fmt.Errorf("core: Config.Ranker is required")
+	}
+	if v, ok := cfg.Ranker.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = SelectAll{}
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = SequentialScheduler{}
+	}
+	return &Service{cfg: cfg}, nil
+}
+
+// Decision is the output of the observe–orient–decide phases: the ranked
+// and selected candidates plus the execution plan, with pool sizes at
+// each refinement point for explainability (NFR2).
+type Decision struct {
+	At time.Duration
+
+	Generated        int
+	AfterPreFilters  int
+	AfterStatsFilter int
+	AfterTraitFilter int
+
+	Ranked   []*Candidate
+	Selected []*Candidate
+	Plan     [][]*Candidate
+}
+
+// Decide runs candidate generation, observe, orient, and decide, without
+// acting. Event-driven harnesses use it to execute the plan themselves.
+func (s *Service) Decide() (*Decision, error) {
+	cfg := s.cfg
+	d := &Decision{At: cfg.Connector.Now()}
+
+	cands := cfg.Generator.Candidates(cfg.Connector.Tables())
+	d.Generated = len(cands)
+
+	cands = applyFilters(cands, cfg.PreFilters)
+	d.AfterPreFilters = len(cands)
+
+	for _, c := range cands {
+		stats, err := cfg.Observer.Observe(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: observe %s: %w", c.ID(), err)
+		}
+		c.Stats = stats
+	}
+	cands = applyFilters(cands, cfg.StatsFilters)
+	d.AfterStatsFilter = len(cands)
+
+	orient(cands, cfg.Traits)
+	cands = applyFilters(cands, cfg.TraitFilters)
+	d.AfterTraitFilter = len(cands)
+
+	d.Ranked = cfg.Ranker.Rank(cands)
+	d.Selected = cfg.Selector.Select(d.Ranked)
+	d.Plan = cfg.Scheduler.Plan(d.Selected)
+	return d, nil
+}
+
+// CandidateResult pairs a selected candidate with its execution result
+// and the estimates the decision was based on, feeding the §7 model
+// accuracy analysis.
+type CandidateResult struct {
+	Candidate *Candidate
+	Result    compaction.Result
+
+	EstimatedReduction float64 // file_count_reduction trait at decide time
+	EstimatedGBHr      float64 // compute_cost_gbhr trait at decide time
+}
+
+// Report is the outcome of one full OODA cycle.
+type Report struct {
+	Decision *Decision
+	Results  []CandidateResult
+
+	FilesReduced   int
+	BytesRewritten int64
+	ActualGBHr     float64
+	Conflicts      int
+	Skipped        int
+	Errors         int
+}
+
+// Act executes a decision's plan with the configured Runner: rounds run
+// sequentially; candidates within a round are issued back to back (their
+// jobs overlap on the cluster's job slots).
+func (s *Service) Act(d *Decision) (*Report, error) {
+	if s.cfg.Runner == nil {
+		return nil, fmt.Errorf("core: Config.Runner is required to Act")
+	}
+	rep := &Report{Decision: d}
+	for _, round := range d.Plan {
+		for _, c := range round {
+			res := s.cfg.Runner.Run(c)
+			rep.add(c, res)
+		}
+	}
+	s.feedback(rep)
+	return rep, nil
+}
+
+// add folds one result into the report.
+func (r *Report) add(c *Candidate, res compaction.Result) {
+	r.Results = append(r.Results, CandidateResult{
+		Candidate:          c,
+		Result:             res,
+		EstimatedReduction: c.Trait(FileCountReduction{}.Name()),
+		EstimatedGBHr:      c.Trait(ComputeCost{}.Name()),
+	})
+	r.ActualGBHr += res.GBHr
+	switch {
+	case res.Conflict:
+		r.Conflicts++
+	case res.Err != nil:
+		r.Errors++
+	case res.Skipped:
+		r.Skipped++
+	default:
+		r.FilesReduced += res.Reduction()
+		r.BytesRewritten += res.BytesRewritten
+	}
+}
+
+// AddResult exposes result folding for harnesses that execute the plan
+// themselves (two-phase ops interleaved with a workload).
+func (r *Report) AddResult(c *Candidate, res compaction.Result) { r.add(c, res) }
+
+// Feedback runs the configured feedback hooks on an externally assembled
+// report (harness-executed plans).
+func (s *Service) Feedback(rep *Report) { s.feedback(rep) }
+
+func (s *Service) feedback(rep *Report) {
+	for _, fn := range s.cfg.OnReport {
+		fn(rep)
+	}
+}
+
+// RunOnce performs one complete cycle: Decide then Act.
+func (s *Service) RunOnce() (*Report, error) {
+	d, err := s.Decide()
+	if err != nil {
+		return nil, err
+	}
+	return s.Act(d)
+}
+
+// EstimateRecord is one estimate-vs-actual observation.
+type EstimateRecord struct {
+	ID                 string
+	EstimatedReduction float64
+	ActualReduction    float64
+	EstimatedGBHr      float64
+	ActualGBHr         float64
+}
+
+// EstimatorLedger accumulates estimate-vs-actual pairs via the feedback
+// loop, quantifying model accuracy as the paper does in §7 (a compaction
+// estimated at 108 TBHr consumed 129 TBHr, 19% underestimation, while
+// file-count reduction was overestimated by 28%).
+type EstimatorLedger struct {
+	mu   sync.Mutex
+	recs []EstimateRecord
+}
+
+// Observe is an OnReport feedback hook.
+func (l *EstimatorLedger) Observe(rep *Report) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, cr := range rep.Results {
+		if cr.Result.Skipped || cr.Result.Err != nil {
+			continue
+		}
+		l.recs = append(l.recs, EstimateRecord{
+			ID:                 cr.Candidate.ID(),
+			EstimatedReduction: cr.EstimatedReduction,
+			ActualReduction:    float64(cr.Result.Reduction()),
+			EstimatedGBHr:      cr.EstimatedGBHr,
+			ActualGBHr:         cr.Result.GBHr,
+		})
+	}
+}
+
+// Records returns a copy of the ledger.
+func (l *EstimatorLedger) Records() []EstimateRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]EstimateRecord, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// CostUnderestimationPct returns the mean percentage by which actual
+// GBHr exceeded the estimate, relative to the estimate (positive =
+// underestimation).
+func (l *EstimatorLedger) CostUnderestimationPct() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, r := range l.recs {
+		if r.EstimatedGBHr <= 0 {
+			continue
+		}
+		sum += (r.ActualGBHr - r.EstimatedGBHr) / r.EstimatedGBHr * 100
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ReductionOverestimationPct returns the mean percentage by which the
+// estimated file-count reduction exceeded the achieved one, relative to
+// the achieved one (positive = overestimation).
+func (l *EstimatorLedger) ReductionOverestimationPct() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, r := range l.recs {
+		if r.ActualReduction <= 0 {
+			continue
+		}
+		sum += (r.EstimatedReduction - r.ActualReduction) / r.ActualReduction * 100
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+)
+
+func TestPeriodicTriggerRuns(t *testing.T) {
+	l := newLake(t)
+	l.addTable(t, "db1", "a", false, []partLayout{{"", 10, 10 * mb}})
+	svc := buildService(t, l, TopK{K: 5})
+
+	q := sim.NewEventQueue(l.clock)
+	runs := 0
+	var lastErr error
+	trig := &PeriodicTrigger{
+		Service: svc,
+		Every:   time.Hour,
+		Until:   5 * time.Hour,
+		OnReport: func(rep *Report, err error) {
+			runs++
+			lastErr = err
+		},
+	}
+	trig.Install(q)
+	q.RunUntil(6 * time.Hour)
+	if runs != 4 {
+		t.Fatalf("runs = %d, want 4 (hours 1..4)", runs)
+	}
+	if lastErr != nil {
+		t.Fatal(lastErr)
+	}
+	// The fragmented table was compacted on the first run; later runs
+	// find nothing (diminishing returns of §2).
+	tbl, _ := l.cp.Table("db1", "a")
+	if tbl.FileCount() != 1 {
+		t.Fatalf("file count = %d", tbl.FileCount())
+	}
+}
+
+func TestPeriodicTriggerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero period")
+		}
+	}()
+	(&PeriodicTrigger{Every: 0}).Install(sim.NewEventQueue(sim.NewClock()))
+}
+
+func TestAfterWriteHookImmediate(t *testing.T) {
+	l := newLake(t)
+	tbl := l.addTable(t, "db1", "a", false, []partLayout{{"", 10, 10 * mb}})
+	hook := &AfterWriteHook{
+		Observer:  l.observer(),
+		Trait:     FileCountReduction{},
+		Threshold: 5,
+		Mode:      Immediate,
+		Runner:    ExecutorRunner{Exec: l.exec},
+	}
+	hr, err := hook.OnWrite(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hr.Triggered || hr.Result == nil {
+		t.Fatalf("hook result = %+v", hr)
+	}
+	if !hr.Result.Succeeded() {
+		t.Fatalf("compaction failed: %+v", hr.Result)
+	}
+	if tbl.FileCount() != 1 {
+		t.Fatalf("file count after hook = %d", tbl.FileCount())
+	}
+}
+
+func TestAfterWriteHookBelowThreshold(t *testing.T) {
+	l := newLake(t)
+	tbl := l.addTable(t, "db1", "a", false, []partLayout{{"", 2, 10 * mb}})
+	hook := &AfterWriteHook{
+		Observer:  l.observer(),
+		Trait:     FileCountReduction{},
+		Threshold: 5,
+		Mode:      Immediate,
+		Runner:    ExecutorRunner{Exec: l.exec},
+	}
+	hr, err := hook.OnWrite(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Triggered {
+		t.Fatal("hook triggered below threshold")
+	}
+	if tbl.FileCount() != 2 {
+		t.Fatal("table modified below threshold")
+	}
+}
+
+func TestAfterWriteHookNotifyOnly(t *testing.T) {
+	l := newLake(t)
+	tbl := l.addTable(t, "db1", "a", false, []partLayout{{"", 10, 10 * mb}})
+	var notified *Candidate
+	hook := &AfterWriteHook{
+		Observer:  l.observer(),
+		Trait:     FileEntropy{TargetFileSize: target},
+		Threshold: 0.5,
+		Mode:      NotifyOnly,
+		Notify:    func(c *Candidate) { notified = c },
+	}
+	hr, err := hook.OnWrite(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hr.Triggered || notified == nil {
+		t.Fatalf("notify mode: %+v", hr)
+	}
+	// Notify mode must not compact.
+	if tbl.FileCount() != 10 {
+		t.Fatalf("file count = %d", tbl.FileCount())
+	}
+	if notified.ID() != "db1.a" {
+		t.Fatalf("notified = %v", notified.ID())
+	}
+}
+
+func TestScopeStrings(t *testing.T) {
+	if ScopeTable.String() != "table" || ScopePartition.String() != "partition" ||
+		ScopeSnapshot.String() != "snapshot" || Scope(9).String() != "unknown" {
+		t.Fatal("scope strings")
+	}
+}
+
+func TestStaticConnector(t *testing.T) {
+	ft := fakeTable{name: "db.t"}
+	c := StaticConnector{
+		TableList: []Table{ft},
+		Quota:     func(db string) float64 { return 0.5 },
+		Clock:     func() time.Duration { return time.Hour },
+	}
+	if len(c.Tables()) != 1 || c.QuotaUtilization("db") != 0.5 || c.Now() != time.Hour {
+		t.Fatal("static connector")
+	}
+	empty := StaticConnector{}
+	if empty.QuotaUtilization("x") != 0 || empty.Now() != 0 {
+		t.Fatal("static connector defaults")
+	}
+}
+
+func TestCandidateFilesTableScope(t *testing.T) {
+	l := newLake(t)
+	tbl := l.addTable(t, "db1", "a", true, []partLayout{{"p1", 2, 10 * mb}, {"p2", 3, 10 * mb}})
+	c := &Candidate{Table: tbl, Scope: ScopeTable}
+	if got := len(c.Files()); got != 5 {
+		t.Fatalf("table-scope files = %d", got)
+	}
+	cp := &Candidate{Table: tbl, Scope: ScopePartition, Partition: "p2"}
+	if got := len(cp.Files()); got != 3 {
+		t.Fatalf("partition-scope files = %d", got)
+	}
+	_ = lst.DataFile{}
+}

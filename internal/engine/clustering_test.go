@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"testing"
+
+	"autocomp/internal/lst"
+)
+
+// Tests for clustered-file data skipping (§8 layout optimization).
+
+func TestSelectiveScanSkipsClusteredFiles(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	// Half the table clustered, half not.
+	var specs []lst.FileSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, lst.FileSpec{SizeBytes: 256 * mb, RowCount: 1000, Clustered: i%2 == 0})
+	}
+	if _, err := tbl.AppendFiles(specs); err != nil {
+		t.Fatal(err)
+	}
+
+	full := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Read, ScanFraction: 0.5})
+	selective := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Read, ScanFraction: 0.5, SelectiveFilter: true})
+	if selective.BytesScanned >= full.BytesScanned {
+		t.Fatalf("data skipping missing: %d vs %d", selective.BytesScanned, full.BytesScanned)
+	}
+	// Only the clustered half skips: with skip fraction 0.8, selective
+	// reads 4×(0.5×0.2)+4×0.5 = 60% of the bytes.
+	want := full.BytesScanned * 6 / 10
+	tol := full.BytesScanned / 100
+	if selective.BytesScanned < want-tol || selective.BytesScanned > want+tol {
+		t.Fatalf("skip accounting: got %d, want ~%d", selective.BytesScanned, want)
+	}
+}
+
+func TestSelectiveScanNoEffectOnUnclustered(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 8})
+	full := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Read})
+	selective := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Read, SelectiveFilter: true})
+	if selective.BytesScanned != full.BytesScanned {
+		t.Fatalf("unclustered files skipped: %d vs %d", selective.BytesScanned, full.BytesScanned)
+	}
+}
+
+func TestClusteringSpeedsUpSelectiveQueries(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	var specs []lst.FileSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, lst.FileSpec{SizeBytes: 512 * mb, RowCount: 1000})
+	}
+	tbl.AppendFiles(specs)
+	before := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Read, SelectiveFilter: true})
+
+	// Rewrite everything clustered.
+	tx := tbl.NewTransaction(lst.OpRewrite)
+	for _, file := range tbl.LiveFiles() {
+		tx.Remove(file.Path, file.Partition)
+		tx.Add(lst.FileSpec{SizeBytes: file.SizeBytes, RowCount: file.RowCount, Clustered: true})
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Read, SelectiveFilter: true})
+	if after.ExecTime >= before.ExecTime {
+		t.Fatalf("clustering did not speed up selective scan: %v vs %v", after.ExecTime, before.ExecTime)
+	}
+}

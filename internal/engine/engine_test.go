@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"autocomp/internal/cluster"
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+const mb = storage.MB
+
+type fixture struct {
+	clock *sim.Clock
+	fs    *storage.NameNode
+	cl    *cluster.Cluster
+	eng   *Engine
+}
+
+func newFixture(strict bool) *fixture {
+	clock := sim.NewClock()
+	rng := sim.NewRNG(7)
+	fs := storage.NewNameNode(storage.DefaultConfig(), clock, rng.Fork())
+	cl := cluster.New(cluster.QueryClusterConfig(), clock)
+	eng := New(DefaultConfig(), cl, fs, clock, rng.Fork())
+	return &fixture{clock: clock, fs: fs, cl: cl, eng: eng}
+}
+
+func (f *fixture) table(t *testing.T, name string, partitioned, strict bool, mode lst.WriteMode) *lst.Table {
+	t.Helper()
+	cfg := lst.TableConfig{
+		Database:               "db",
+		Name:                   name,
+		Mode:                   mode,
+		StrictRewriteConflicts: strict,
+	}
+	if partitioned {
+		cfg.Spec = lst.PartitionSpec{Column: "d", Transform: lst.TransformMonth}
+	}
+	tbl, err := lst.NewTable(cfg, f.fs, f.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestInsertProducesOneFilePerShufflePartition(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{
+		App: "q", Table: tbl, Kind: Insert,
+		Bytes: 1 << 30, Parallelism: 50,
+	})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if res.FilesWritten != 50 {
+		t.Fatalf("files written = %d, want 50", res.FilesWritten)
+	}
+	if tbl.FileCount() != 50 {
+		t.Fatalf("table files = %d", tbl.FileCount())
+	}
+	if got := tbl.TotalBytes(); got != 1<<30 {
+		t.Fatalf("bytes = %d, want %d", got, 1<<30)
+	}
+}
+
+func TestInsertDefaultsToConfiguredShufflePartitions(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Insert, Bytes: 10 << 30})
+	if res.FilesWritten != DefaultConfig().DefaultShufflePartitions {
+		t.Fatalf("files = %d, want default %d", res.FilesWritten, DefaultConfig().DefaultShufflePartitions)
+	}
+}
+
+func TestTinyInsertCapsFileCount(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{App: "q", Table: tbl, Kind: Insert, Bytes: 256 * storage.KB})
+	if res.FilesWritten > 4 {
+		t.Fatalf("tiny insert wrote %d files", res.FilesWritten)
+	}
+	if res.FilesWritten < 1 {
+		t.Fatal("tiny insert wrote nothing")
+	}
+}
+
+func TestInsertSpreadsAcrossPartitions(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", true, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{
+		App: "q", Table: tbl, Kind: Insert, Bytes: 1 << 30,
+		Parallelism: 10, TargetPartitions: []string{"2024-01", "2024-02"},
+	})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if len(tbl.FilesInPartition("2024-01")) == 0 || len(tbl.FilesInPartition("2024-02")) == 0 {
+		t.Fatal("insert did not spread across partitions")
+	}
+}
+
+func TestReadScalesWithFileCount(t *testing.T) {
+	f := newFixture(false)
+	compactTbl := f.table(t, "compact", false, false, lst.CopyOnWrite)
+	fragTbl := f.table(t, "fragmented", false, false, lst.CopyOnWrite)
+
+	// Same bytes, different layouts: 4 big files vs 2000 small files.
+	f.eng.Exec(Query{App: "load1", Table: compactTbl, Kind: Insert, Bytes: 2 << 30, Parallelism: 4})
+	f.eng.Exec(Query{App: "load2", Table: fragTbl, Kind: Insert, Bytes: 2 << 30, Parallelism: 2000})
+
+	r1 := f.eng.Exec(Query{App: "scan1", Table: compactTbl, Kind: Read})
+	r2 := f.eng.Exec(Query{App: "scan2", Table: fragTbl, Kind: Read})
+	if r1.Failed() || r2.Failed() {
+		t.Fatal(r1.Err, r2.Err)
+	}
+	if r2.ExecTime <= r1.ExecTime {
+		t.Fatalf("fragmented scan not slower: %v vs %v", r1.ExecTime, r2.ExecTime)
+	}
+	if r2.FilesScanned <= r1.FilesScanned {
+		t.Fatalf("files scanned: %d vs %d", r1.FilesScanned, r2.FilesScanned)
+	}
+}
+
+func TestReadPartitionPruning(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", true, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30,
+		Parallelism: 20, TargetPartitions: []string{"2024-01", "2024-02"}})
+	all := f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read})
+	one := f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read, ScanPartitions: []string{"2024-01"}})
+	if one.FilesScanned >= all.FilesScanned {
+		t.Fatalf("pruning did not reduce files: %d vs %d", one.FilesScanned, all.FilesScanned)
+	}
+	if one.BytesScanned >= all.BytesScanned {
+		t.Fatal("pruning did not reduce bytes")
+	}
+}
+
+func TestReadScanFraction(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 10})
+	full := f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read})
+	tenth := f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read, ScanFraction: 0.1})
+	if tenth.BytesScanned >= full.BytesScanned {
+		t.Fatal("scan fraction not applied")
+	}
+}
+
+func TestCoWUpdateRewritesFiles(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", true, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30,
+		Parallelism: 10, TargetPartitions: []string{"2024-01"}})
+	bytesBefore := tbl.TotalBytes()
+	res := f.eng.Exec(Query{App: "upd", Table: tbl, Kind: Update,
+		TargetPartitions: []string{"2024-01"}, ModifyFraction: 0.3, Parallelism: 40})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if res.FilesWritten == 0 {
+		t.Fatal("update wrote nothing")
+	}
+	// Bytes approximately conserved for updates.
+	after := tbl.TotalBytes()
+	if after < bytesBefore*95/100 || after > bytesBefore*105/100 {
+		t.Fatalf("update changed bytes: %d -> %d", bytesBefore, after)
+	}
+}
+
+func TestCoWDeleteShrinksTable(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", true, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30,
+		Parallelism: 10, TargetPartitions: []string{"2024-01"}})
+	before := tbl.TotalBytes()
+	res := f.eng.Exec(Query{App: "del", Table: tbl, Kind: Delete,
+		TargetPartitions: []string{"2024-01"}, ModifyFraction: 0.4})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if tbl.TotalBytes() >= before {
+		t.Fatal("delete did not shrink table")
+	}
+}
+
+func TestMoRUpdateAppendsDeltas(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.MergeOnRead)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 4})
+	files := tbl.FileCount()
+	res := f.eng.Exec(Query{App: "upd", Table: tbl, Kind: Update, ModifyFraction: 0.1, Parallelism: 8})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if tbl.DeltaFileCount() == 0 {
+		t.Fatal("MoR update produced no delta files")
+	}
+	if tbl.FileCount() <= files {
+		t.Fatal("file count did not grow")
+	}
+}
+
+func TestWriteWriteConflictRetries(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", true, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30,
+		Parallelism: 10, TargetPartitions: []string{"2024-01"}})
+
+	// Two overlapping CoW updates in flight; the second commits after
+	// the first and must conflict, then retry successfully.
+	w1 := f.eng.StartWrite(Query{App: "u1", Table: tbl, Kind: Update,
+		TargetPartitions: []string{"2024-01"}, ModifyFraction: 0.2, Parallelism: 4})
+	w2 := f.eng.StartWrite(Query{App: "u2", Table: tbl, Kind: Update,
+		TargetPartitions: []string{"2024-01"}, ModifyFraction: 0.2, Parallelism: 4})
+	r1 := w1.Finish()
+	r2 := w2.Finish()
+	if r1.Failed() {
+		t.Fatal(r1.Err)
+	}
+	if r2.Failed() {
+		t.Fatalf("retry should succeed: %v", r2.Err)
+	}
+	if r2.Retries == 0 {
+		t.Fatal("no client-side conflict recorded")
+	}
+	_, conflicts, failures, _ := f.eng.Stats()
+	if conflicts == 0 || failures != 0 {
+		t.Fatalf("stats: conflicts=%d failures=%d", conflicts, failures)
+	}
+	// Retry charged extra time.
+	if r2.ExecTime <= r1.ExecTime/2 {
+		t.Fatal("retry cost not charged")
+	}
+}
+
+func TestQuotaExceededFailsQuery(t *testing.T) {
+	f := newFixture(false)
+	f.fs.SetQuota("db", 8)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 50})
+	if !errors.Is(res.Err, storage.ErrQuotaExceeded) {
+		t.Fatalf("expected quota failure, got %v", res.Err)
+	}
+	_, _, failures, _ := f.eng.Stats()
+	if failures != 1 {
+		t.Fatalf("failures = %d", failures)
+	}
+}
+
+func TestReadOnEmptyTable(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read})
+	if res.Failed() || res.FilesScanned != 0 {
+		t.Fatalf("empty read = %+v", res)
+	}
+}
+
+func TestSmallFilePenaltyAppliesBelowThreshold(t *testing.T) {
+	cfgLo := DefaultConfig()
+	cfgLo.SmallFilePenalty = 1.0
+	cfgHi := DefaultConfig()
+	cfgHi.SmallFilePenalty = 3.0
+
+	run := func(cfg Config) time.Duration {
+		clock := sim.NewClock()
+		rng := sim.NewRNG(7)
+		fs := storage.NewNameNode(storage.DefaultConfig(), clock, rng.Fork())
+		cl := cluster.New(cluster.QueryClusterConfig(), clock)
+		eng := New(cfg, cl, fs, clock, rng.Fork())
+		tbl, _ := lst.NewTable(lst.TableConfig{Database: "db", Name: "t"}, fs, clock)
+		eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 512 * mb, Parallelism: 100})
+		return eng.Exec(Query{App: "scan", Table: tbl, Kind: Read}).ExecTime
+	}
+	if run(cfgHi) <= run(cfgLo) {
+		t.Fatal("small-file penalty had no effect")
+	}
+}
+
+func TestStartWriteOnReadQueryFails(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	pw := f.eng.StartWrite(Query{App: "bad", Table: tbl, Kind: Read})
+	res := pw.Finish()
+	if !res.Failed() {
+		t.Fatal("read through StartWrite should fail")
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	pw := f.eng.StartWrite(Query{App: "w", Table: tbl, Kind: Insert, Bytes: mb, Parallelism: 1})
+	r1 := pw.Finish()
+	r2 := pw.Finish()
+	if r1.FilesWritten != r2.FilesWritten || tbl.FileCount() != r1.FilesWritten {
+		t.Fatal("Finish not idempotent")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Read.String() != "read" || Insert.String() != "insert" ||
+		Update.String() != "update" || Delete.String() != "delete" || Kind(9).String() != "unknown" {
+		t.Fatal("kind strings")
+	}
+	if Read.IsWrite() || !Insert.IsWrite() {
+		t.Fatal("IsWrite")
+	}
+}

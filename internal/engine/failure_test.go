@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"testing"
+
+	"autocomp/internal/cluster"
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// Failure-injection tests: the engine under a struggling NameNode,
+// reproducing §7's production incidents (HDFS read timeouts from
+// excessive RPC traffic, simultaneous client retries exacerbating load —
+// the thundering herd).
+
+func overloadedFixture(capacityRPS float64) *fixture {
+	clock := sim.NewClock()
+	rng := sim.NewRNG(7)
+	cfg := storage.DefaultConfig()
+	cfg.CapacityRPS = capacityRPS
+	fs := storage.NewNameNode(cfg, clock, rng.Fork())
+	cl := cluster.New(cluster.QueryClusterConfig(), clock)
+	eng := New(DefaultConfig(), cl, fs, clock, rng.Fork())
+	return &fixture{clock: clock, fs: fs, cl: cl, eng: eng}
+}
+
+func TestReadsUnderOverloadHitTimeouts(t *testing.T) {
+	f := overloadedFixture(30) // tiny NameNode
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 400})
+
+	timeouts := 0
+	for i := 0; i < 30; i++ {
+		res := f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read})
+		timeouts += res.Timeouts
+	}
+	if timeouts == 0 {
+		t.Fatal("no open timeouts under extreme NameNode overload")
+	}
+	// Thundering herd: retries were recorded as additional load.
+	if f.fs.Counters().Retries == 0 {
+		t.Fatal("timeout retries not recorded")
+	}
+	_, _, _, observed := f.eng.Stats()
+	if observed == 0 {
+		t.Fatal("engine did not observe timeouts")
+	}
+}
+
+func TestQueryFailsWhenRetriesExhausted(t *testing.T) {
+	// CapacityRPS so low that utilization exceeds 2× threshold almost
+	// immediately, making every open fail until retries run out.
+	f := overloadedFixture(1)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 256 << 20, Parallelism: 200})
+
+	failed := false
+	for i := 0; i < 50 && !failed; i++ {
+		res := f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read})
+		failed = res.Failed()
+	}
+	if !failed {
+		t.Fatal("no query failure under persistent NameNode overload")
+	}
+	_, _, failures, _ := f.eng.Stats()
+	if failures == 0 {
+		t.Fatal("failure counter not bumped")
+	}
+}
+
+func TestObserverNameNodesRelieveTimeouts(t *testing.T) {
+	run := func(observers int) int {
+		clock := sim.NewClock()
+		rng := sim.NewRNG(7)
+		cfg := storage.DefaultConfig()
+		cfg.CapacityRPS = 50
+		cfg.ObserverNameNodes = observers
+		fs := storage.NewNameNode(cfg, clock, rng.Fork())
+		cl := cluster.New(cluster.QueryClusterConfig(), clock)
+		eng := New(DefaultConfig(), cl, fs, clock, rng.Fork())
+		tbl, _ := lst.NewTable(lst.TableConfig{Database: "db", Name: "t"}, fs, clock)
+		eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 300})
+		timeouts := 0
+		for i := 0; i < 20; i++ {
+			timeouts += eng.Exec(Query{App: "scan", Table: tbl, Kind: Read}).Timeouts
+		}
+		return timeouts
+	}
+	without := run(0)
+	with := run(8)
+	if with >= without {
+		t.Fatalf("observer NameNodes did not relieve timeouts: %d vs %d", with, without)
+	}
+}
+
+// Compaction relieves an overloaded NameNode: fewer files means fewer
+// open() RPCs per scan — §7's motivating incident in reverse.
+func TestCompactionReducesRPCLoad(t *testing.T) {
+	f := overloadedFixture(2000)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "load", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 500})
+
+	before := f.fs.Counters().Opens
+	f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read})
+	openFragmented := f.fs.Counters().Opens - before
+
+	// Compact (manually, via a rewrite) to a handful of files.
+	tx := tbl.NewTransaction(lst.OpRewrite)
+	var bytes, rows int64
+	for _, file := range tbl.LiveFiles() {
+		tx.Remove(file.Path, file.Partition)
+		bytes += file.SizeBytes
+		rows += file.RowCount
+	}
+	for bytes > 0 {
+		sz := int64(512 << 20)
+		if sz > bytes {
+			sz = bytes
+		}
+		tx.Add(lst.FileSpec{SizeBytes: sz, RowCount: rows})
+		bytes -= sz
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	before = f.fs.Counters().Opens
+	f.eng.Exec(Query{App: "scan", Table: tbl, Kind: Read})
+	openCompacted := f.fs.Counters().Opens - before
+	if openCompacted*10 > openFragmented {
+		t.Fatalf("open RPCs: fragmented %d vs compacted %d", openFragmented, openCompacted)
+	}
+}

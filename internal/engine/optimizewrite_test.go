@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"testing"
+
+	"autocomp/internal/cluster"
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// Tests for optimize-write (§8 write-side tuning): coalescing shuffle
+// outputs to the target file size at write time.
+
+func optimizeWriteFixture(target int64) *fixture {
+	clock := sim.NewClock()
+	rng := sim.NewRNG(7)
+	fs := storage.NewNameNode(storage.DefaultConfig(), clock, rng.Fork())
+	cl := cluster.New(cluster.QueryClusterConfig(), clock)
+	cfg := DefaultConfig()
+	cfg.OptimizeWriteTarget = target
+	eng := New(cfg, cl, fs, clock, rng.Fork())
+	return &fixture{clock: clock, fs: fs, cl: cl, eng: eng}
+}
+
+func TestOptimizeWriteCoalescesOutputs(t *testing.T) {
+	f := optimizeWriteFixture(512 * mb)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{App: "w", Table: tbl, Kind: Insert, Bytes: 2 << 30})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	// 2 GB at a 512 MB target → 4 files instead of the default 200.
+	if res.FilesWritten != 4 {
+		t.Fatalf("files written = %d, want 4", res.FilesWritten)
+	}
+	for _, file := range tbl.LiveFiles() {
+		if file.SizeBytes < 128*mb {
+			t.Fatalf("optimize-write still produced a small file: %d", file.SizeBytes)
+		}
+	}
+}
+
+func TestOptimizeWriteRespectsPartitions(t *testing.T) {
+	f := optimizeWriteFixture(512 * mb)
+	tbl := f.table(t, "t", true, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{
+		App: "w", Table: tbl, Kind: Insert, Bytes: 1 << 30,
+		TargetPartitions: []string{"2024-01", "2024-02", "2024-03"},
+	})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	// At least one file per partition even when coalescing.
+	for _, p := range []string{"2024-01", "2024-02", "2024-03"} {
+		if len(tbl.FilesInPartition(p)) == 0 {
+			t.Fatalf("partition %s empty", p)
+		}
+	}
+}
+
+func TestOptimizeWriteDoesNotFixExistingDebt(t *testing.T) {
+	// An untuned engine fragments the table first...
+	f := newFixture(false)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	f.eng.Exec(Query{App: "w", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 300})
+	frag := tbl.SmallFileCount(512 * mb)
+	if frag < 200 {
+		t.Fatalf("setup: small files = %d", frag)
+	}
+	// ...then optimize-write only prevents new debt; the backlog stays
+	// until compaction runs (why AutoComp is still needed, §8).
+	ow := optimizeWriteFixture(512 * mb)
+	owRes := ow.eng.Exec(Query{App: "w2", Table: tbl, Kind: Insert, Bytes: 1 << 30})
+	if owRes.Failed() {
+		t.Fatal(owRes.Err)
+	}
+	if got := tbl.SmallFileCount(512 * mb); got < frag {
+		t.Fatalf("existing small files disappeared without compaction: %d -> %d", frag, got)
+	}
+}
+
+func TestOptimizeWriteExplicitParallelismStillCapped(t *testing.T) {
+	f := optimizeWriteFixture(512 * mb)
+	tbl := f.table(t, "t", false, false, lst.CopyOnWrite)
+	res := f.eng.Exec(Query{App: "w", Table: tbl, Kind: Insert, Bytes: 1 << 30, Parallelism: 500})
+	if res.FilesWritten != 2 {
+		t.Fatalf("files written = %d, want 2 (1GB at 512MB target)", res.FilesWritten)
+	}
+}

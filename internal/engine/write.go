@@ -1,0 +1,306 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autocomp/internal/cluster"
+	"autocomp/internal/lst"
+	"autocomp/internal/storage"
+)
+
+// PendingWrite is a two-phase write: the job has been submitted and the
+// transaction staged; Finish attempts the commit at the job's end. The
+// window between Start and Finish is where concurrent commits (other
+// writers, compaction) create the conflicts of Table 1.
+type PendingWrite struct {
+	e            *Engine
+	q            Query
+	tx           *lst.Transaction
+	filesWritten int
+	job          cluster.JobRecord
+	res          Result
+	done         bool
+}
+
+// CommitAt returns when the write job completes and the commit runs.
+func (pw *PendingWrite) CommitAt() time.Duration { return pw.job.End() }
+
+// StartWrite stages a write query and submits its job. Finish must be
+// called to attempt the commit.
+func (e *Engine) StartWrite(q Query) *PendingWrite {
+	e.queries++
+	pw := &PendingWrite{
+		e: e,
+		q: q,
+		res: Result{
+			App:   q.App,
+			Kind:  q.Kind,
+			Start: e.clock.Now(),
+		},
+	}
+	tx, files, spec, err := e.buildWrite(q)
+	if err != nil {
+		pw.res.Err = err
+		pw.done = true
+		e.failedQueries++
+		return pw
+	}
+	pw.tx = tx
+	pw.filesWritten = files
+	pw.job = e.cluster.Submit(spec)
+	pw.res.QueueDelay = pw.job.QueueDelay
+	pw.res.ExecTime = pw.job.Duration
+	pw.res.BytesScanned = spec.ScanBytes
+	return pw
+}
+
+// buildWrite stages a transaction against the table's current state and
+// returns the job spec describing its compute work.
+func (e *Engine) buildWrite(q Query) (*lst.Transaction, int, cluster.JobSpec, error) {
+	switch q.Kind {
+	case Insert:
+		return e.buildInsert(q)
+	case Update, Delete:
+		if q.Table.Mode() == lst.MergeOnRead {
+			return e.buildMoRWrite(q)
+		}
+		return e.buildCoWWrite(q)
+	default:
+		return nil, 0, cluster.JobSpec{}, fmt.Errorf("engine: StartWrite on %v query", q.Kind)
+	}
+}
+
+// writerFileSpecs splits total bytes into parallelism-many jittered file
+// sizes spread round-robin over the target partitions — one output file
+// per shuffle partition, the engine behaviour that litters tables with
+// small files (§2).
+func (e *Engine) writerFileSpecs(total int64, parallelism int, partitions []string, delta bool) []lst.FileSpec {
+	if parallelism <= 0 {
+		parallelism = e.cfg.DefaultShufflePartitions
+	}
+	if total <= 0 {
+		return nil
+	}
+	// Optimize-write coalesces shuffle outputs to the target file size
+	// (per target partition, since files never span partitions).
+	if t := e.cfg.OptimizeWriteTarget; t > 0 {
+		nparts := len(partitions)
+		if nparts == 0 {
+			nparts = 1
+		}
+		coalesced := int((total + t - 1) / t)
+		if coalesced < nparts {
+			coalesced = nparts
+		}
+		if coalesced < parallelism {
+			parallelism = coalesced
+		}
+	}
+	// A writer task only materializes a file if it received any rows;
+	// tiny writes still produce at least one file.
+	minFile := int64(64 * storage.KB)
+	if total/minFile < int64(parallelism) {
+		parallelism = int(total / minFile)
+		if parallelism == 0 {
+			parallelism = 1
+		}
+	}
+	if len(partitions) == 0 {
+		partitions = []string{""}
+	}
+	// Jittered weights normalized to the total guarantee exactly
+	// parallelism files whose sizes sum to total.
+	weights := make([]float64, parallelism)
+	var wsum float64
+	for i := range weights {
+		w := e.rng.LogNormalAround(1, e.cfg.FileSizeJitterSigma)
+		weights[i] = w
+		wsum += w
+	}
+	specs := make([]lst.FileSpec, 0, parallelism)
+	remaining := total
+	for i := 0; i < parallelism && remaining > 0; i++ {
+		size := int64(float64(total) * weights[i] / wsum)
+		if size < minFile {
+			size = minFile
+		}
+		if i == parallelism-1 || size > remaining {
+			size = remaining
+		}
+		remaining -= size
+		specs = append(specs, lst.FileSpec{
+			Partition: partitions[i%len(partitions)],
+			SizeBytes: size,
+			RowCount:  size / 100,
+			IsDelta:   delta,
+		})
+	}
+	return specs
+}
+
+func (e *Engine) buildInsert(q Query) (*lst.Transaction, int, cluster.JobSpec, error) {
+	specs := e.writerFileSpecs(q.Bytes, q.Parallelism, q.TargetPartitions, false)
+	tx := q.Table.NewTransaction(lst.OpAppend)
+	for _, s := range specs {
+		tx.Add(s)
+	}
+	return tx, len(specs), cluster.JobSpec{
+		App:        q.App,
+		WriteBytes: q.Bytes,
+		Files:      len(specs),
+		Tasks:      writerTasks(q, e),
+	}, nil
+}
+
+// buildCoWWrite rewrites the affected slice of each target partition
+// (copy-on-write): remove input files covering ~ModifyFraction of the
+// partition, write replacements at the writer's parallelism.
+func (e *Engine) buildCoWWrite(q Query) (*lst.Transaction, int, cluster.JobSpec, error) {
+	parts := q.TargetPartitions
+	if len(parts) == 0 {
+		parts = q.Table.Partitions()
+	}
+	frac := q.ModifyFraction
+	if frac <= 0 {
+		frac = 0.01
+	}
+	op := lst.OpOverwrite
+	if q.Kind == Delete {
+		op = lst.OpDelete
+	}
+	tx := q.Table.NewTransaction(op)
+
+	var removedBytes, writtenBytes int64
+	filesWritten := 0
+	for _, part := range parts {
+		files := q.Table.FilesInPartition(part)
+		if len(files) == 0 {
+			continue
+		}
+		var partBytes int64
+		for _, f := range files {
+			partBytes += f.SizeBytes
+		}
+		budget := int64(float64(partBytes) * frac)
+		var taken int64
+		for _, f := range files {
+			if taken >= budget {
+				break
+			}
+			tx.Remove(f.Path, f.Partition)
+			taken += f.SizeBytes
+		}
+		removedBytes += taken
+		out := taken
+		if q.Kind == Delete {
+			// Deletes drop ~half the affected rows; the rest is
+			// rewritten.
+			out = taken / 2
+		}
+		if out > 0 {
+			specs := e.writerFileSpecs(out, q.Parallelism, []string{part}, false)
+			for _, s := range specs {
+				tx.Add(s)
+			}
+			filesWritten += len(specs)
+			writtenBytes += out
+		}
+	}
+	return tx, filesWritten, cluster.JobSpec{
+		App:        q.App,
+		ScanBytes:  removedBytes,
+		WriteBytes: writtenBytes,
+		Files:      filesWritten,
+		Tasks:      writerTasks(q, e),
+	}, nil
+}
+
+// buildMoRWrite appends delta files instead of rewriting (merge-on-read).
+func (e *Engine) buildMoRWrite(q Query) (*lst.Transaction, int, cluster.JobSpec, error) {
+	parts := q.TargetPartitions
+	if len(parts) == 0 {
+		parts = []string{""}
+	}
+	frac := q.ModifyFraction
+	if frac <= 0 {
+		frac = 0.01
+	}
+	// Delta volume is a fraction of the affected data (position deletes
+	// plus changed rows), not a full rewrite.
+	affected := int64(float64(q.Table.TotalBytes()) * frac)
+	deltaBytes := affected / 10
+	if deltaBytes < 64*storage.KB {
+		deltaBytes = 64 * storage.KB
+	}
+	specs := e.writerFileSpecs(deltaBytes, q.Parallelism, parts, true)
+	tx := q.Table.NewTransaction(lst.OpAppend)
+	for _, s := range specs {
+		tx.Add(s)
+	}
+	return tx, len(specs), cluster.JobSpec{
+		App:        q.App,
+		WriteBytes: deltaBytes,
+		Files:      len(specs),
+		Tasks:      writerTasks(q, e),
+	}, nil
+}
+
+func writerTasks(q Query, e *Engine) int {
+	if q.Parallelism > 0 {
+		return q.Parallelism
+	}
+	return e.cfg.DefaultShufflePartitions
+}
+
+// Finish attempts the commit. On a write-write conflict it retries up to
+// MaxCommitRetries times: each retry rebuilds the transaction against
+// fresh table state and charges RetryCostFactor of the original job's
+// duration (time and compute) — the paper's client-side conflicts
+// (Table 1). Quota and other storage failures surface as query errors
+// (§7: quota breaches caused user-visible failures before compaction).
+func (pw *PendingWrite) Finish() Result {
+	if pw.done {
+		return pw.res
+	}
+	pw.done = true
+	e := pw.e
+
+	for attempt := 0; ; attempt++ {
+		_, err := pw.tx.Commit()
+		if err == nil {
+			pw.res.FilesWritten = pw.filesWritten
+			return pw.res
+		}
+		if !errors.Is(err, lst.ErrCommitConflict) || errors.Is(err, storage.ErrQuotaExceeded) {
+			pw.res.Err = err
+			e.failedQueries++
+			return pw.res
+		}
+		pw.res.Retries++
+		e.conflictRetries++
+		if attempt >= e.cfg.MaxCommitRetries {
+			pw.res.Err = err
+			e.failedQueries++
+			return pw.res
+		}
+		// Rebuild against current state; charge the retry but not a
+		// full re-execution.
+		retryCost := time.Duration(float64(pw.job.Duration) * e.cfg.RetryCostFactor)
+		pw.res.ExecTime += retryCost
+		e.cluster.Submit(cluster.JobSpec{
+			App:          pw.q.App + "/retry",
+			ExtraCompute: retryCost,
+			Tasks:        1,
+		})
+		tx, files, _, berr := e.buildWrite(pw.q)
+		if berr != nil {
+			pw.res.Err = berr
+			e.failedQueries++
+			return pw.res
+		}
+		pw.tx = tx
+		pw.filesWritten = files
+	}
+}

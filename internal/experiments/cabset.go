@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"autocomp/internal/bench"
+	"autocomp/internal/metrics"
+	"autocomp/internal/storage"
+	"autocomp/internal/workload"
+)
+
+// cabSet holds the four strategy runs Figures 6–8 and Table 1 all
+// project from: no compaction, MOOP table top-10, MOOP hybrid top-50,
+// MOOP hybrid top-500 (§6).
+type cabSet struct {
+	Runs []*bench.CABResult
+}
+
+var (
+	cabCacheMu sync.Mutex
+	cabCache   = map[string]*cabSet{}
+)
+
+// cabConfig returns the CAB workload config: the paper's parameters
+// (500 GB, 20 databases, 1 CPU-hour, 5 hours) or a scaled-down quick
+// variant with identical shape.
+func cabConfig(seed int64, quick bool) workload.CABConfig {
+	if quick {
+		// Same shape as the paper's run (20 databases keeps the ratio
+		// of k to candidate counts intact) at reduced volume/duration.
+		return workload.CABConfig{
+			RawDataBytes: 60 * storage.GB,
+			Databases:    20,
+			CPUHours:     1,
+			Duration:     3 * time.Hour,
+			Months:       36,
+			Seed:         seed,
+		}
+	}
+	cfg := workload.DefaultCABConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// cabStrategies returns the §6 candidate-selection strategies.
+func cabStrategies() []bench.Strategy {
+	return []bench.Strategy{
+		{Kind: bench.NoCompaction},
+		{Kind: bench.MOOPTable, TopK: 10},
+		{Kind: bench.MOOPHybrid, TopK: 50},
+		{Kind: bench.MOOPHybrid, TopK: 500},
+	}
+}
+
+// getCABSet memoizes the expensive multi-strategy run per (seed, quick).
+func getCABSet(seed int64, quick bool) (*cabSet, error) {
+	key := fmt.Sprintf("%d/%v", seed, quick)
+	cabCacheMu.Lock()
+	defer cabCacheMu.Unlock()
+	if s, ok := cabCache[key]; ok {
+		return s, nil
+	}
+	set := &cabSet{}
+	for _, strat := range cabStrategies() {
+		res, err := bench.RunCAB(bench.CABRunConfig{
+			Workload: cabConfig(seed, quick),
+			Strategy: strat,
+			Seed:     seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		set.Runs = append(set.Runs, res)
+	}
+	cabCache[key] = set
+	return set, nil
+}
+
+// --- Figure 6: file count over time ---
+
+// Fig6Result is the file-count-over-time comparison across strategies.
+type Fig6Result struct{ Set *cabSet }
+
+// ID implements Result.
+func (Fig6Result) ID() string { return "fig6" }
+
+// Title implements Result.
+func (Fig6Result) Title() string {
+	return "Figure 6: compaction strategy impact on file count over time"
+}
+
+// Render implements Result.
+func (r Fig6Result) Render() string {
+	headers := []string{"t (min)"}
+	for _, run := range r.Set.Runs {
+		headers = append(headers, run.Strategy.Label())
+	}
+	n := 0
+	for _, run := range r.Set.Runs {
+		if run.FileCounts.Len() > n {
+			n = run.FileCounts.Len()
+		}
+	}
+	var rows [][]string
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(headers))
+		var ts time.Duration
+		for _, run := range r.Set.Runs {
+			if i < run.FileCounts.Len() {
+				ts = run.FileCounts.Points[i].T
+				break
+			}
+		}
+		row = append(row, fmt.Sprintf("%.0f", ts.Minutes()))
+		for _, run := range r.Set.Runs {
+			if i < run.FileCounts.Len() {
+				row = append(row, fmt.Sprintf("%.0f", run.FileCounts.Points[i].V))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return metrics.RenderTable(headers, rows)
+}
+
+// Baseline returns the no-compaction run.
+func (r Fig6Result) Baseline() *bench.CABResult { return r.Set.Runs[0] }
+
+// GrowthPerHour returns the baseline's mean file-count growth per hour
+// (the paper observes ≈2,640 files/hour).
+func (r Fig6Result) GrowthPerHour() float64 {
+	fc := r.Baseline().FileCounts
+	if fc.Len() < 2 {
+		return 0
+	}
+	first, last := fc.Points[0], fc.Points[fc.Len()-1]
+	hours := (last.T - first.T).Hours()
+	if hours == 0 {
+		return 0
+	}
+	return (last.V - first.V) / hours
+}
+
+func init() {
+	register(Spec{
+		ExpID: "fig6",
+		Title: Fig6Result{}.Title(),
+		Run: func(seed int64, quick bool) (Result, error) {
+			set, err := getCABSet(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return Fig6Result{Set: set}, nil
+		},
+	})
+}
+
+// --- Figure 7: compaction cost ---
+
+// Fig7Result compares mean GBHrApp across strategies.
+type Fig7Result struct{ Set *cabSet }
+
+// ID implements Result.
+func (Fig7Result) ID() string { return "fig7" }
+
+// Title implements Result.
+func (Fig7Result) Title() string {
+	return "Figure 7: mean GBHrApp for various compaction strategies"
+}
+
+// Render implements Result.
+func (r Fig7Result) Render() string {
+	var rows [][]string
+	for _, run := range r.Set.Runs {
+		if run.Strategy.Kind == bench.NoCompaction {
+			continue
+		}
+		mean := metrics.Mean(run.CompactionGBHrs)
+		sd := metrics.StdDev(run.CompactionGBHrs)
+		rows = append(rows, []string{
+			run.Strategy.Label(),
+			fmt.Sprintf("%d", len(run.CompactionGBHrs)),
+			fmt.Sprintf("%.3f", mean),
+			fmt.Sprintf("%.3f", sd),
+			fmt.Sprintf("%d", run.FilesReducedTotal),
+		})
+	}
+	return metrics.RenderTable(
+		[]string{"Strategy", "Ops", "Mean GBHrApp", "StdDev", "Files reduced"}, rows)
+}
+
+// MeanGBHr returns the mean per-op GBHr of run index i (1=table-10,
+// 2=hybrid-50, 3=hybrid-500).
+func (r Fig7Result) MeanGBHr(i int) float64 {
+	return metrics.Mean(r.Set.Runs[i].CompactionGBHrs)
+}
+
+// StdGBHr returns the per-op GBHr standard deviation of run index i.
+func (r Fig7Result) StdGBHr(i int) float64 {
+	return metrics.StdDev(r.Set.Runs[i].CompactionGBHrs)
+}
+
+func init() {
+	register(Spec{
+		ExpID: "fig7",
+		Title: Fig7Result{}.Title(),
+		Run: func(seed int64, quick bool) (Result, error) {
+			set, err := getCABSet(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return Fig7Result{Set: set}, nil
+		},
+	})
+}
+
+// --- Figure 8: query latency candlesticks ---
+
+// Fig8Result reports per-hour latency candlesticks for read-only and
+// read-write queries under no compaction, table top-10, and hybrid
+// top-500.
+type Fig8Result struct{ Set *cabSet }
+
+// ID implements Result.
+func (Fig8Result) ID() string { return "fig8" }
+
+// Title implements Result.
+func (Fig8Result) Title() string {
+	return "Figure 8: impact of compaction on query latency (per-hour candlesticks)"
+}
+
+// panels returns the three strategies Figure 8 plots.
+func (r Fig8Result) panels() []*bench.CABResult {
+	return []*bench.CABResult{r.Set.Runs[0], r.Set.Runs[1], r.Set.Runs[3]}
+}
+
+// Render implements Result.
+func (r Fig8Result) Render() string {
+	out := ""
+	for _, run := range r.panels() {
+		for _, kind := range []string{"RO", "RW"} {
+			var rows [][]string
+			for _, h := range run.Hours {
+				samples := h.ROLatencies
+				if kind == "RW" {
+					samples = h.RWLatencies
+				}
+				c := metrics.NewCandlestick(samples)
+				rows = append(rows, []string{
+					fmt.Sprintf("%d", h.Hour),
+					fmt.Sprintf("%d", c.N),
+					fmt.Sprintf("%.1f", c.Min),
+					fmt.Sprintf("%.1f", c.P25),
+					fmt.Sprintf("%.1f", c.Median),
+					fmt.Sprintf("%.1f", c.P75),
+					fmt.Sprintf("%.1f", c.Max),
+				})
+			}
+			out += fmt.Sprintf("%s — %s (exec time seconds; end-to-end %s)\n",
+				run.Strategy.Label(), kind, run.EndToEnd.Round(time.Minute)) +
+				metrics.RenderTable([]string{"Hour", "N", "Min", "P25", "Median", "P75", "Max"}, rows) + "\n"
+		}
+	}
+	return out
+}
+
+// MedianRO returns the median read-only latency of a run's hour h
+// (1-based), 0 when absent.
+func (r Fig8Result) MedianRO(runIdx, hour int) float64 {
+	run := r.Set.Runs[runIdx]
+	if hour-1 < 0 || hour-1 >= len(run.Hours) {
+		return 0
+	}
+	return metrics.NewCandlestick(run.Hours[hour-1].ROLatencies).Median
+}
+
+func init() {
+	register(Spec{
+		ExpID: "fig8",
+		Title: Fig8Result{}.Title(),
+		Run: func(seed int64, quick bool) (Result, error) {
+			set, err := getCABSet(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return Fig8Result{Set: set}, nil
+		},
+	})
+}
+
+// --- Table 1: conflicts ---
+
+// Table1Result reports client- and cluster-side conflicts per hour for
+// the no-compaction, table top-10, and hybrid top-500 runs.
+type Table1Result struct{ Set *cabSet }
+
+// ID implements Result.
+func (Table1Result) ID() string { return "table1" }
+
+// Title implements Result.
+func (Table1Result) Title() string {
+	return "Table 1: client- and cluster-side conflicts per execution hour"
+}
+
+// Render implements Result.
+func (r Table1Result) Render() string {
+	noComp, table10, hybrid := r.Set.Runs[0], r.Set.Runs[1], r.Set.Runs[3]
+	maxHours := len(noComp.Hours)
+	if len(table10.Hours) > maxHours {
+		maxHours = len(table10.Hours)
+	}
+	if len(hybrid.Hours) > maxHours {
+		maxHours = len(hybrid.Hours)
+	}
+	get := func(run *bench.CABResult, h int) bench.HourStat {
+		if h < len(run.Hours) {
+			return run.Hours[h]
+		}
+		return bench.HourStat{}
+	}
+	var rows [][]string
+	for h := 0; h < maxHours; h++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", h+1),
+			fmt.Sprintf("%d", get(noComp, h).WriteQueries),
+			fmt.Sprintf("%d", get(noComp, h).ClientConflicts),
+			fmt.Sprintf("%d", get(table10, h).ClientConflicts),
+			fmt.Sprintf("%d", get(hybrid, h).ClientConflicts),
+			fmt.Sprintf("%d", get(table10, h).ClusterConflicts),
+			fmt.Sprintf("%d", get(hybrid, h).ClusterConflicts),
+		})
+	}
+	return metrics.RenderTable([]string{
+		"Hour", "#WriteQ", "NoComp cli", "Table-10 cli", "Hybrid-500 cli",
+		"Table-10 cluster", "Hybrid-500 cluster"}, rows)
+}
+
+// ClusterConflictTotals returns total cluster-side conflicts for the
+// table-10 and hybrid-500 runs.
+func (r Table1Result) ClusterConflictTotals() (table10, hybrid500 int) {
+	for _, h := range r.Set.Runs[1].Hours {
+		table10 += h.ClusterConflicts
+	}
+	for _, h := range r.Set.Runs[3].Hours {
+		hybrid500 += h.ClusterConflicts
+	}
+	return table10, hybrid500
+}
+
+func init() {
+	register(Spec{
+		ExpID: "table1",
+		Title: Table1Result{}.Title(),
+		Run: func(seed int64, quick bool) (Result, error) {
+			set, err := getCABSet(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return Table1Result{Set: set}, nil
+		},
+	})
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSeed = 1
+
+func runQuick(t *testing.T, id string) Result {
+	t.Helper()
+	res, err := Run(id, testSeed, true)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID() != id {
+		t.Fatalf("id = %q, want %q", res.ID(), id)
+	}
+	if res.Title() == "" || res.Render() == "" {
+		t.Fatalf("%s: empty title or render", id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"est", "fig1", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b",
+		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "table1",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered = %d, want %d", len(all), len(want))
+	}
+	for i, s := range all {
+		if s.ExpID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, s.ExpID, want[i])
+		}
+		if s.Title == "" || s.Run == nil {
+			t.Fatalf("spec %s incomplete", s.ExpID)
+		}
+	}
+	if _, err := Run("nope", 1, true); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res := runQuick(t, "fig1").(Fig1Result)
+	// Raw ingestion files cluster near the 512 MB target...
+	if frac := res.RawFraction512(); frac < 0.5 {
+		t.Fatalf("raw >=256MB fraction = %.2f, want most of the mass", frac)
+	}
+	// ...while user-derived data is dominated by small files.
+	if frac := res.DerivedSmallFraction(); frac < 0.6 {
+		t.Fatalf("derived <128MB fraction = %.2f, want >0.6", frac)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res := runQuick(t, "fig3").(Fig3Result)
+	// Maintenance degrades the suite noticeably (paper: 1.53×)...
+	if res.DegradedRatio < 1.15 {
+		t.Fatalf("degraded ratio = %.2f, want >= 1.15", res.DegradedRatio)
+	}
+	if res.DegradedRatio > 3.0 {
+		t.Fatalf("degraded ratio = %.2f, implausibly high", res.DegradedRatio)
+	}
+	// ...and compaction restores performance to near the initial run.
+	if res.RestoredRatio > res.DegradedRatio*0.9 {
+		t.Fatalf("restored %.2f vs degraded %.2f: compaction did not help",
+			res.RestoredRatio, res.DegradedRatio)
+	}
+	if res.RestoredRatio > 1.35 {
+		t.Fatalf("restored ratio = %.2f, want near 1.0", res.RestoredRatio)
+	}
+}
+
+func TestEstimatorShape(t *testing.T) {
+	res := runQuick(t, "est").(EstimatorResult)
+	if res.Tables == 0 {
+		t.Fatal("nothing analyzed")
+	}
+	// Cost is underestimated (paper: ~19%).
+	if res.CostUnderestimationPct <= 0 {
+		t.Fatalf("cost underestimation = %.1f%%, want positive", res.CostUnderestimationPct)
+	}
+	if res.CostUnderestimationPct > 150 {
+		t.Fatalf("cost underestimation = %.1f%%, implausible", res.CostUnderestimationPct)
+	}
+	// Reduction is overestimated (paper: ~28%).
+	if res.ReductionOverestimate <= 0 {
+		t.Fatalf("reduction overestimation = %.1f%%, want positive", res.ReductionOverestimate)
+	}
+}
+
+func TestCABSetShapes(t *testing.T) {
+	fig6 := runQuick(t, "fig6").(Fig6Result)
+	// Baseline grows steadily (paper: ≈2,640 files/hour at full scale).
+	if g := fig6.GrowthPerHour(); g <= 0 {
+		t.Fatalf("baseline growth = %.0f files/hour", g)
+	}
+	runs := fig6.Set.Runs
+	base, table10, hybrid50, hybrid500 := runs[0], runs[1], runs[2], runs[3]
+
+	// Every compaction strategy ends below the baseline.
+	for _, run := range runs[1:] {
+		if run.FileCounts.Last() >= base.FileCounts.Last() {
+			t.Fatalf("%s did not beat baseline: %v vs %v",
+				run.Strategy.Label(), run.FileCounts.Last(), base.FileCounts.Last())
+		}
+	}
+	// Table top-10 cuts deepest; hybrid-50 is the most gradual
+	// (fewer partitions compacted per run).
+	if table10.FilesReducedTotal <= hybrid50.FilesReducedTotal {
+		t.Fatalf("table-10 %d <= hybrid-50 %d files reduced",
+			table10.FilesReducedTotal, hybrid50.FilesReducedTotal)
+	}
+	if hybrid500.FilesReducedTotal <= hybrid50.FilesReducedTotal {
+		t.Fatalf("hybrid-500 %d <= hybrid-50 %d files reduced",
+			hybrid500.FilesReducedTotal, hybrid50.FilesReducedTotal)
+	}
+
+	fig7 := runQuick(t, "fig7").(Fig7Result)
+	// Hybrid's per-op GBHr is smaller and steadier than table scope
+	// (§6.1: "more stable value for GBHrApp").
+	if fig7.MeanGBHr(2) >= fig7.MeanGBHr(1) {
+		t.Fatalf("hybrid mean GBHr %.3f >= table %.3f", fig7.MeanGBHr(2), fig7.MeanGBHr(1))
+	}
+	if fig7.StdGBHr(2) >= fig7.StdGBHr(1) {
+		t.Fatalf("hybrid GBHr spread %.3f >= table %.3f", fig7.StdGBHr(2), fig7.StdGBHr(1))
+	}
+
+	fig8 := runQuick(t, "fig8").(Fig8Result)
+	// By the final hour, compaction improves read-only latency over the
+	// baseline (§6.2).
+	lastHour := len(base.Hours)
+	if lastHour > 3 {
+		baseMed := fig8.MedianRO(0, lastHour-1)
+		compMed := fig8.MedianRO(1, lastHour-1)
+		if compMed >= baseMed {
+			t.Fatalf("hour %d RO median: compaction %.1fs >= baseline %.1fs",
+				lastHour-1, compMed, baseMed)
+		}
+	}
+
+	table1 := runQuick(t, "table1").(Table1Result)
+	t10, h500 := table1.ClusterConflictTotals()
+	// Table-scope compactions race the workload and conflict; the
+	// hybrid partition-sequential discipline eliminates cluster-side
+	// conflicts (Table 1).
+	if h500 > t10 {
+		t.Fatalf("hybrid cluster conflicts %d > table %d", h500, t10)
+	}
+	if h500 != 0 {
+		t.Fatalf("hybrid-500 cluster conflicts = %d, want 0", h500)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res := runQuick(t, "fig2").(Fig2Result)
+	// Before: ~83% tiny. Manual helps; auto helps more.
+	if res.TinyFracBefore < 0.7 {
+		t.Fatalf("tiny before = %.2f", res.TinyFracBefore)
+	}
+	if res.TinyFracManual >= res.TinyFracBefore {
+		t.Fatal("manual compaction did not shift the distribution")
+	}
+	if res.TinyFracAuto >= res.TinyFracManual {
+		t.Fatal("auto compaction did not improve on manual")
+	}
+	if res.TinyReductionPct <= 10 {
+		t.Fatalf("tiny-file reduction = %.0f%%, want substantial (paper: up to 44%%)", res.TinyReductionPct)
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	res := runQuick(t, "fig10a").(Fig10aResult)
+	if len(res.Weeks) != 6 {
+		t.Fatalf("weeks = %d", len(res.Weeks))
+	}
+	// Auto top-10 beats manual top-100 on files reduced (paper: +12%).
+	if res.AutoMeanFiles <= res.ManualMeanFiles {
+		t.Fatalf("auto %.0f <= manual %.0f files/week", res.AutoMeanFiles, res.ManualMeanFiles)
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	res := runQuick(t, "fig10b").(Fig10bResult)
+	if !res.DynamicKExceedsStatic() {
+		t.Fatalf("dynamic k did not exceed static: %+v", res.Weeks)
+	}
+	// The transition week flushes the backlog static k=100 left behind.
+	static, firstDynamic := res.Weeks[0], res.Weeks[1]
+	if firstDynamic.FilesReduced <= static.FilesReduced {
+		t.Fatalf("dynamic transition did not flush backlog: %d vs %d",
+			firstDynamic.FilesReduced, static.FilesReduced)
+	}
+}
+
+func TestFig10cShape(t *testing.T) {
+	res := runQuick(t, "fig10c").(Fig10cResult)
+	if len(res.Months) != 12 {
+		t.Fatalf("months = %d", len(res.Months))
+	}
+	// Deployment grows monotonically.
+	for i := 1; i < len(res.Months); i++ {
+		if res.Months[i].Tables < res.Months[i-1].Tables {
+			t.Fatal("deployment shrank")
+		}
+	}
+	// File count peaks before the compaction regimes and ends lower
+	// than the peak despite growth.
+	peak, end := int64(0), res.Months[len(res.Months)-1].Files
+	for _, m := range res.Months[:4] {
+		if m.Files > peak {
+			peak = m.Files
+		}
+	}
+	if end >= peak {
+		t.Fatalf("file count did not drop: peak %d, end %d", peak, end)
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	res := runQuick(t, "fig11a").(Fig11aResult)
+	if len(res.Days) != 30 {
+		t.Fatalf("days = %d", len(res.Days))
+	}
+	// Query time correlates with files scanned (same sign of deltas on
+	// most days).
+	agree, total := 0, 0
+	for i := 1; i < len(res.Days); i++ {
+		ds := res.Days[i].FilesScanned - res.Days[i-1].FilesScanned
+		dt := res.Days[i].QueryTime - res.Days[i-1].QueryTime
+		if ds == 0 {
+			continue
+		}
+		total++
+		if (ds > 0) == (dt > 0) {
+			agree++
+		}
+	}
+	if total == 0 || float64(agree)/float64(total) < 0.7 {
+		t.Fatalf("query time tracks files scanned on %d/%d days", agree, total)
+	}
+}
+
+func TestFig11bShape(t *testing.T) {
+	res := runQuick(t, "fig11b").(Fig11bResult)
+	if len(res.Months) != 14 {
+		t.Fatalf("months = %d", len(res.Months))
+	}
+	// Mean monthly opens in the auto regime sit below the unmanaged
+	// regime's, despite the larger deployment (§7, Fig 11b).
+	var noneSum, autoSum float64
+	var noneN, autoN int
+	for _, m := range res.Months {
+		switch m.Regime {
+		case "none":
+			noneSum += float64(m.OpenCalls)
+			noneN++
+		case "auto":
+			autoSum += float64(m.OpenCalls)
+			autoN++
+		}
+	}
+	if noneN == 0 || autoN == 0 {
+		t.Fatal("regimes missing")
+	}
+	if autoSum/float64(autoN) >= noneSum/float64(noneN) {
+		t.Fatalf("auto opens %.0f >= unmanaged %.0f", autoSum/float64(autoN), noneSum/float64(noneN))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res := runQuick(t, "fig9").(Fig9Result)
+	if len(res.Panels) != 4 {
+		t.Fatalf("panels = %d", len(res.Panels))
+	}
+	wp1 := res.Panel("TPC-DS WP1, File Count")
+	wp1e := res.Panel("TPC-DS WP1, Entropy")
+	tpch := res.Panel("TPC-H, File Count")
+	wp3 := res.Panel("TPC-DS WP3, File Count")
+
+	// (i) WP1 benefits from tuned compaction (paper: up to 2×).
+	if wp1.Speedup() < 1.05 {
+		t.Fatalf("WP1 speedup = %.2f, want > 1.05", wp1.Speedup())
+	}
+	// (i) TPC-H: the default (no auto-compaction) is best or essentially
+	// tied — compaction rewrites whole non-partitioned tables.
+	if tpch.BestSecs < tpch.BaselineSecs*0.97 {
+		t.Fatalf("TPC-H tuned %.0fs clearly beat baseline %.0fs", tpch.BestSecs, tpch.BaselineSecs)
+	}
+	// (i) WP3 sees consistent benefits (decoupled clusters hide cost).
+	if wp3.Speedup() < 1.02 {
+		t.Fatalf("WP3 speedup = %.2f", wp3.Speedup())
+	}
+	// (ii) file-count and entropy triggers land comparable results.
+	ratio := wp1.BestSecs / wp1e.BestSecs
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("file-count vs entropy best: %.0f vs %.0f", wp1.BestSecs, wp1e.BestSecs)
+	}
+}
+
+func TestRendersContainHeaders(t *testing.T) {
+	for _, pair := range [][2]string{
+		{"fig1", "Raw ingestion"},
+		{"fig3", "after compaction"},
+		{"table1", "cluster"},
+	} {
+		res := runQuick(t, pair[0])
+		if !strings.Contains(res.Render(), pair[1]) {
+			t.Fatalf("%s render missing %q:\n%s", pair[0], pair[1], res.Render())
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"autocomp/internal/bench"
+	"autocomp/internal/engine"
+	"autocomp/internal/lst"
+	"autocomp/internal/metrics"
+	"autocomp/internal/storage"
+	"autocomp/internal/workload"
+)
+
+// Fig1Result reproduces Figure 1: file-size distribution of raw ingested
+// data (the tuned central pipeline, ~512 MB files) versus user-derived
+// data (untuned end-user jobs, heavily small).
+type Fig1Result struct {
+	Raw     *metrics.Histogram
+	Derived *metrics.Histogram
+}
+
+// ID implements Result.
+func (Fig1Result) ID() string { return "fig1" }
+
+// Title implements Result.
+func (Fig1Result) Title() string {
+	return "Figure 1: file size distribution, raw ingestion vs user-derived data"
+}
+
+// Render implements Result.
+func (r Fig1Result) Render() string {
+	labels := r.Raw.BucketLabels(metrics.FormatBytes)
+	var rows [][]string
+	rawTotal, derTotal := r.Raw.Total(), r.Derived.Total()
+	for i, label := range labels {
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%.1f%%", pct(r.Raw.Counts[i], rawTotal)),
+			fmt.Sprintf("%.1f%%", pct(r.Derived.Counts[i], derTotal)),
+		})
+	}
+	return metrics.RenderTable([]string{"File size", "Raw ingestion", "User-derived"}, rows)
+}
+
+func pct(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// RawFraction512 returns the fraction of raw-ingestion files in the
+// >=256 MB buckets (the pipeline targets 512 MB).
+func (r Fig1Result) RawFraction512() float64 {
+	n := len(r.Raw.Counts)
+	var big int64
+	big = r.Raw.Counts[n-1] + r.Raw.Counts[n-2]
+	return float64(big) / float64(r.Raw.Total())
+}
+
+// DerivedSmallFraction returns the fraction of user-derived files under
+// 128 MB.
+func (r Fig1Result) DerivedSmallFraction() float64 {
+	return r.Derived.FractionBelow(128 * storage.MB)
+}
+
+// RunFig1 simulates both writer populations against the same lake.
+func RunFig1(seed int64, quick bool) (Result, error) {
+	env := bench.NewEnv(bench.EnvConfig{Seed: seed})
+	hours := 24
+	ingestPerHour := int64(6 * storage.GB)
+	if quick {
+		hours = 6
+	}
+
+	if _, err := env.CP.CreateDatabase("raw", "ingestion", 0); err != nil {
+		return nil, err
+	}
+	if _, err := env.CP.CreateDatabase("derived", "users", 0); err != nil {
+		return nil, err
+	}
+
+	// Raw ingestion: the central Gobblin-style pipeline writes every
+	// five minutes and incrementally compacts into hourly partitions of
+	// ~512 MB files (§2).
+	rawTbl, err := env.CP.CreateTable("raw", lst.TableConfig{
+		Name: "events",
+		Spec: lst.PartitionSpec{Column: "ts", Transform: lst.TransformDay},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for h := 0; h < hours; h++ {
+		part := fmt.Sprintf("2024-06-%02d", 1+h/24)
+		// 12 five-minute micro-batches...
+		var paths []string
+		for b := 0; b < 12; b++ {
+			res := env.Engine.Exec(engine.Query{
+				App: "ingest", Table: rawTbl, Kind: engine.Insert,
+				Bytes: ingestPerHour / 12, TargetPartitions: []string{part},
+				Parallelism: 4,
+			})
+			if res.Failed() {
+				return nil, res.Err
+			}
+			_ = paths
+		}
+		// ... incrementally compacted into ~512 MB files each hour.
+		env.Exec.CompactPartition(rawTbl, part)
+		env.Clock.Advance(time.Hour)
+	}
+
+	// User-derived data: untuned CAB-style loads plus update churn.
+	gen := workload.NewCAB(workload.CABConfig{
+		RawDataBytes: 40 * storage.GB,
+		Databases:    4,
+		Duration:     time.Hour,
+		Months:       6,
+		Seed:         seed,
+	})
+	plan := gen.Plan()
+	months := workload.MonthPartitions(6)
+	var derivedTables []*lst.Table
+	for _, dbp := range plan.Databases {
+		for _, td := range dbp.Tables {
+			tbl, err := env.CP.CreateTable("derived", lst.TableConfig{
+				Name:   dbp.Name + "_" + td.Name,
+				Schema: td.Schema,
+				Spec:   td.Spec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			derivedTables = append(derivedTables, tbl)
+			q := engine.Query{
+				App: "user-job", Table: tbl, Kind: engine.Insert,
+				Bytes:       workload.SizeOfShare(dbp.RawBytes, td.ShareOfData),
+				Parallelism: dbp.LoadParallelism,
+			}
+			if td.Spec.IsPartitioned() {
+				q.TargetPartitions = months
+			}
+			if res := env.Engine.Exec(q); res.Failed() {
+				return nil, res.Err
+			}
+		}
+	}
+	// Update churn at untuned parallelism.
+	for i, tbl := range derivedTables {
+		if i%2 == 0 {
+			env.Engine.Exec(engine.Query{
+				App: "user-update", Table: tbl, Kind: engine.Update,
+				ModifyFraction: 0.05,
+			})
+		}
+	}
+
+	bounds := []int64{32 * storage.MB, 64 * storage.MB, 128 * storage.MB, 256 * storage.MB, 512 * storage.MB}
+	res := Fig1Result{
+		Raw:     metrics.NewHistogram(bounds),
+		Derived: metrics.NewHistogram(bounds),
+	}
+	for _, f := range rawTbl.LiveFiles() {
+		res.Raw.Add(f.SizeBytes)
+	}
+	for _, tbl := range derivedTables {
+		for _, f := range tbl.LiveFiles() {
+			res.Derived.Add(f.SizeBytes)
+		}
+	}
+	return res, nil
+}
+
+func init() {
+	register(Spec{
+		ExpID: "fig1",
+		Title: Fig1Result{}.Title(),
+		Run:   RunFig1,
+	})
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autocomp/internal/bench"
+	"autocomp/internal/metrics"
+	"autocomp/internal/storage"
+	"autocomp/internal/tuner"
+	"autocomp/internal/workload"
+)
+
+// Fig9Panel describes one panel of Figure 9.
+type Fig9Panel struct {
+	Name     string
+	Workload func(raw int64) workload.PhasedWorkload
+	Trait    bench.HookTrait
+	Param    tuner.Param
+}
+
+// Fig9PanelResult is one tuned panel: per-iteration end-to-end durations
+// plus the no-auto-compaction default.
+type Fig9PanelResult struct {
+	Name          string
+	BaselineSecs  float64 // default setting: no auto-compaction
+	Scores        []float64
+	BestSecs      float64
+	BestThreshold float64
+}
+
+// Speedup returns baseline/best (>1 means compaction helped).
+func (p Fig9PanelResult) Speedup() float64 {
+	if p.BestSecs <= 0 {
+		return 0
+	}
+	return p.BaselineSecs / p.BestSecs
+}
+
+// Fig9Result reproduces Figure 9: MLOS/FLAML-style tuning of
+// optimize-after-write thresholds for TPC-DS WP1 (file-count and entropy
+// triggers), TPC-H, and TPC-DS WP3.
+type Fig9Result struct {
+	Panels []Fig9PanelResult
+}
+
+// ID implements Result.
+func (Fig9Result) ID() string { return "fig9" }
+
+// Title implements Result.
+func (Fig9Result) Title() string {
+	return "Figure 9: auto-tuning compaction triggers (end-to-end duration vs iteration)"
+}
+
+// Render implements Result.
+func (r Fig9Result) Render() string {
+	out := ""
+	for _, p := range r.Panels {
+		var rows [][]string
+		for i, s := range p.Scores {
+			rows = append(rows, []string{fmt.Sprintf("%d", i+1), fmt.Sprintf("%.0f", s)})
+		}
+		out += fmt.Sprintf("%s — baseline (no auto-compaction): %.0fs; best tuned: %.0fs @ threshold %.1f (speedup %.2fx)\n",
+			p.Name, p.BaselineSecs, p.BestSecs, p.BestThreshold, p.Speedup()) +
+			metrics.RenderTable([]string{"Iteration", "E2E duration (s)"}, rows) + "\n"
+	}
+	return out
+}
+
+// Panel lookup by name.
+func (r Fig9Result) Panel(name string) Fig9PanelResult {
+	for _, p := range r.Panels {
+		if p.Name == name {
+			return p
+		}
+	}
+	return Fig9PanelResult{}
+}
+
+// RunFig9 tunes each panel with the CFO optimizer.
+func RunFig9(seed int64, quick bool) (Result, error) {
+	raw := int64(100 * storage.GB)
+	iters := 12
+	if quick {
+		raw = 15 * storage.GB
+		iters = 6
+	}
+	panels := []Fig9Panel{
+		{
+			Name:     "TPC-DS WP1, File Count",
+			Workload: workload.TPCDSWP1,
+			Trait:    bench.HookSmallFileCount,
+			Param:    tuner.Param{Name: "threshold", Min: 50, Max: 100000, Log: true},
+		},
+		{
+			Name:     "TPC-H, File Count",
+			Workload: workload.TPCH,
+			Trait:    bench.HookSmallFileCount,
+			Param:    tuner.Param{Name: "threshold", Min: 50, Max: 100000, Log: true},
+		},
+		{
+			Name:     "TPC-DS WP1, Entropy",
+			Workload: workload.TPCDSWP1,
+			Trait:    bench.HookEntropy,
+			Param:    tuner.Param{Name: "threshold", Min: 1, Max: 1000, Log: true},
+		},
+		{
+			Name:     "TPC-DS WP3, File Count",
+			Workload: workload.TPCDSWP3,
+			Trait:    bench.HookSmallFileCount,
+			Param:    tuner.Param{Name: "threshold", Min: 50, Max: 100000, Log: true},
+		},
+	}
+
+	res := Fig9Result{}
+	for _, panel := range panels {
+		// Default setting: auto-compaction off.
+		base, err := bench.RunPhased(bench.PhasedRunConfig{
+			Workload: panel.Workload(raw),
+			Seed:     seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		panelErr := error(nil)
+		objective := func(params map[string]float64) float64 {
+			r, err := bench.RunPhased(bench.PhasedRunConfig{
+				Workload: panel.Workload(raw),
+				Seed:     seed,
+				Hook: bench.HookSpec{
+					Enabled:   true,
+					Trait:     panel.Trait,
+					Threshold: params["threshold"],
+				},
+			})
+			if err != nil {
+				panelErr = err
+				return 1e18
+			}
+			return r.Total.Seconds()
+		}
+		trials := tuner.CFO{Params: []tuner.Param{panel.Param}, Seed: seed}.Optimize(objective, iters)
+		if panelErr != nil {
+			return nil, panelErr
+		}
+		best := tuner.Best(trials)
+		res.Panels = append(res.Panels, Fig9PanelResult{
+			Name:          panel.Name,
+			BaselineSecs:  base.Total.Seconds(),
+			Scores:        tuner.Scores(trials),
+			BestSecs:      best.Score,
+			BestThreshold: best.Params["threshold"],
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Spec{ExpID: "fig9", Title: Fig9Result{}.Title(), Run: RunFig9})
+}

@@ -1,0 +1,370 @@
+// Package fleet simulates a production lake fleet at LinkedIn scale (§2,
+// §7): tens of thousands of OpenHouse-managed tables with heavy-tailed
+// sizes, tenant quotas, daily small-file growth, monthly onboarding, and
+// a scan-heavy daily workload whose cost tracks file counts.
+//
+// Tables are modeled in aggregate — per-size-bucket file counts and bytes
+// rather than per-file records — so fleets with hundreds of millions of
+// files simulate in milliseconds. Fleet tables implement core.Table and
+// the package provides a core-compatible Observer and Runner, so the real
+// AutoComp decision pipeline (MOOP ranking, quota-adaptive weights, top-k
+// and budget selection) runs unmodified against the fleet (NFR3).
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// Size buckets: the paper's Figure 2 reports file-size distribution
+// around the 128 MB block size and 512 MB target.
+const (
+	BucketTiny  = 0 // < 128 MB
+	BucketSmall = 1 // [128 MB, 512 MB)
+	BucketFull  = 2 // >= 512 MB
+)
+
+// BucketBounds returns the bucket boundaries ([128 MB, 512 MB]).
+func BucketBounds() []int64 { return []int64{128 * storage.MB, 512 * storage.MB} }
+
+// Table is one production table in aggregate form.
+type Table struct {
+	db, name    string
+	partitioned bool
+	partitions  int
+
+	counts [3]int64
+	bytes  [3]int64
+
+	created   time.Duration
+	lastWrite time.Duration
+	writes    int64
+
+	// growthPerDay is the expected number of new small files per day.
+	growthPerDay float64
+	// avgNewFile is the mean size of newly written small files.
+	avgNewFile int64
+	// scanShare is the probability the daily scan workload reads this
+	// table.
+	scanShare float64
+
+	fleet *Fleet
+}
+
+// Database implements core.Table.
+func (t *Table) Database() string { return t.db }
+
+// Name implements core.Table.
+func (t *Table) Name() string { return t.name }
+
+// FullName implements core.Table.
+func (t *Table) FullName() string { return t.db + "." + t.name }
+
+// Spec implements core.Table.
+func (t *Table) Spec() lst.PartitionSpec {
+	if t.partitioned {
+		return lst.PartitionSpec{Column: "ds", Transform: lst.TransformDay}
+	}
+	return lst.PartitionSpec{}
+}
+
+// Mode implements core.Table.
+func (t *Table) Mode() lst.WriteMode { return lst.CopyOnWrite }
+
+// Prop implements core.Table.
+func (t *Table) Prop(string) string { return "" }
+
+// Created implements core.Table.
+func (t *Table) Created() time.Duration { return t.created }
+
+// LastWrite implements core.Table.
+func (t *Table) LastWrite() time.Duration { return t.lastWrite }
+
+// WriteCount implements core.Table.
+func (t *Table) WriteCount() int64 { return t.writes }
+
+// FileCount implements core.Table.
+func (t *Table) FileCount() int { return int(t.counts[0] + t.counts[1] + t.counts[2]) }
+
+// TotalBytes implements core.Table.
+func (t *Table) TotalBytes() int64 { return t.bytes[0] + t.bytes[1] + t.bytes[2] }
+
+// Partitions implements core.Table; fleet tables do not enumerate
+// partitions (aggregate model) — AutoComp runs table-scoped here, as the
+// production deployment did (§7).
+func (t *Table) Partitions() []string { return nil }
+
+// LiveFiles implements core.Table; per-file listings are not materialized
+// in the aggregate model. Use Observer for statistics.
+func (t *Table) LiveFiles() []lst.DataFile { return nil }
+
+// FilesInPartition implements core.Table.
+func (t *Table) FilesInPartition(string) []lst.DataFile { return nil }
+
+// SmallFiles returns files below the target (the two lower buckets).
+func (t *Table) SmallFiles() int64 { return t.counts[0] + t.counts[1] }
+
+// SmallBytes returns bytes in files below the target.
+func (t *Table) SmallBytes() int64 { return t.bytes[0] + t.bytes[1] }
+
+// Config parameterizes fleet construction.
+type Config struct {
+	Seed int64
+	// InitialTables at simulation start.
+	InitialTables int
+	// Databases (tenants) the tables spread over; each gets a quota.
+	Databases int
+	// QuotaObjectsPerDB is each tenant's namespace quota.
+	QuotaObjectsPerDB int64
+	// TablesPerMonth onboarded as the deployment grows (§7, Fig 10c).
+	TablesPerMonth int
+	// TargetFileSize (512 MB in production).
+	TargetFileSize int64
+	// InitialTinyFraction is the count-fraction of files below 128 MB
+	// at start (the paper reports 83%).
+	InitialTinyFraction float64
+	// DailyDriftProb is the per-table daily probability that a table's
+	// write behaviour changes (§7: users modify their data, create new
+	// tables, and adjust workflows daily, which is what makes manually
+	// curated compaction lists go stale).
+	DailyDriftProb float64
+}
+
+// DefaultConfig mirrors the paper's deployment shape, scaled to simulate
+// quickly (the full 35K-table fleet also runs, just slower).
+func DefaultConfig() Config {
+	return Config{
+		Seed:                1,
+		InitialTables:       2000,
+		Databases:           50,
+		QuotaObjectsPerDB:   4_000_000,
+		TablesPerMonth:      150,
+		TargetFileSize:      512 * storage.MB,
+		InitialTinyFraction: 0.83,
+		DailyDriftProb:      0.004,
+	}
+}
+
+// Fleet is the whole simulated deployment.
+type Fleet struct {
+	cfg    Config
+	clock  *sim.Clock
+	rng    *sim.RNG
+	tables []*Table
+
+	// openCalls accumulates modeled HDFS open() RPCs (Fig 11b).
+	openCalls int64
+	day       int
+}
+
+// New builds a fleet at day 0.
+func New(cfg Config, clock *sim.Clock) *Fleet {
+	if cfg.InitialTables <= 0 {
+		cfg.InitialTables = 100
+	}
+	if cfg.Databases <= 0 {
+		cfg.Databases = 10
+	}
+	if cfg.TargetFileSize <= 0 {
+		cfg.TargetFileSize = 512 * storage.MB
+	}
+	if cfg.InitialTinyFraction <= 0 {
+		cfg.InitialTinyFraction = 0.83
+	}
+	f := &Fleet{cfg: cfg, clock: clock, rng: sim.NewRNG(cfg.Seed)}
+	for i := 0; i < cfg.InitialTables; i++ {
+		f.onboard()
+	}
+	return f
+}
+
+// onboard creates one table with a heavy-tailed file count and the
+// configured small-file skew.
+func (f *Fleet) onboard() *Table {
+	i := len(f.tables)
+	t := &Table{
+		db:          fmt.Sprintf("db%03d", i%f.cfg.Databases),
+		name:        fmt.Sprintf("t%06d", i),
+		partitioned: f.rng.Bernoulli(0.6),
+		created:     f.clock.Now(),
+		lastWrite:   f.clock.Now(),
+		fleet:       f,
+	}
+	if t.partitioned {
+		t.partitions = f.rng.IntBetween(10, 400)
+	} else {
+		t.partitions = 1
+	}
+	// File counts are heavy-tailed: most tables are small, a few are
+	// enormous (the paper's problem tables averaged 42M files; we cap
+	// the tail for scaled runs).
+	files := int64(f.rng.Pareto(40, 0.9))
+	if files > 2_000_000 {
+		files = 2_000_000
+	}
+	tiny := int64(float64(files) * f.rng.Jitter(f.cfg.InitialTinyFraction, 0.1))
+	if tiny > files {
+		tiny = files
+	}
+	smallish := int64(float64(files-tiny) * 0.6)
+	full := files - tiny - smallish
+	t.counts = [3]int64{tiny, smallish, full}
+	t.bytes = [3]int64{
+		tiny * int64(f.rng.Jitter(24*float64(storage.MB), 0.5)),
+		smallish * int64(f.rng.Jitter(256*float64(storage.MB), 0.3)),
+		full * int64(f.rng.Jitter(700*float64(storage.MB), 0.2)),
+	}
+	t.growthPerDay = f.rng.Jitter(float64(files)*0.01, 0.8) + 1
+	t.avgNewFile = int64(f.rng.Jitter(16*float64(storage.MB), 0.7))
+	if t.avgNewFile < storage.MB {
+		t.avgNewFile = storage.MB
+	}
+	t.scanShare = f.rng.Float64() * 0.5
+	f.tables = append(f.tables, t)
+	return t
+}
+
+// Tables returns the fleet's tables (live slice; do not mutate).
+func (f *Fleet) Tables() []*Table { return f.tables }
+
+// TableCount returns the deployment size.
+func (f *Fleet) TableCount() int { return len(f.tables) }
+
+// Day returns the current simulation day.
+func (f *Fleet) Day() int { return f.day }
+
+// TotalFiles returns the fleet-wide file count.
+func (f *Fleet) TotalFiles() int64 {
+	var n int64
+	for _, t := range f.tables {
+		n += t.counts[0] + t.counts[1] + t.counts[2]
+	}
+	return n
+}
+
+// Histogram returns fleet-wide [tiny, small, full] file counts (Fig 2).
+func (f *Fleet) Histogram() [3]int64 {
+	var h [3]int64
+	for _, t := range f.tables {
+		for b := 0; b < 3; b++ {
+			h[b] += t.counts[b]
+		}
+	}
+	return h
+}
+
+// TinyFileFraction returns the count-fraction of files under 128 MB.
+func (f *Fleet) TinyFileFraction() float64 {
+	h := f.Histogram()
+	total := h[0] + h[1] + h[2]
+	if total == 0 {
+		return 0
+	}
+	return float64(h[0]) / float64(total)
+}
+
+// SmallFileFraction returns the count-fraction of files under the target.
+func (f *Fleet) SmallFileFraction() float64 {
+	h := f.Histogram()
+	total := h[0] + h[1] + h[2]
+	if total == 0 {
+		return 0
+	}
+	return float64(h[0]+h[1]) / float64(total)
+}
+
+// QuotaUtilization implements the connector quota lookup: files of a
+// tenant over its quota.
+func (f *Fleet) QuotaUtilization(db string) float64 {
+	if f.cfg.QuotaObjectsPerDB <= 0 {
+		return 0
+	}
+	var used int64
+	for _, t := range f.tables {
+		if t.db == db {
+			used += t.counts[0] + t.counts[1] + t.counts[2]
+		}
+	}
+	u := float64(used) / float64(f.cfg.QuotaObjectsPerDB)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// AdvanceDay applies one day of organic dynamics: every table accretes
+// small files from its writers; write behaviour drifts as users adjust
+// workflows; new tables onboard at the configured monthly rate.
+func (f *Fleet) AdvanceDay() {
+	f.day++
+	f.clock.Advance(24 * time.Hour)
+	for _, t := range f.tables {
+		if f.cfg.DailyDriftProb > 0 && f.rng.Bernoulli(f.cfg.DailyDriftProb) {
+			// The owning pipeline changed: a quiet table may become a
+			// heavy (untuned) writer or a heavy one go quiet.
+			t.growthPerDay = f.rng.Pareto(2, 0.9)
+			if t.growthPerDay > 5000 {
+				t.growthPerDay = 5000
+			}
+		}
+		n := int64(f.rng.Jitter(t.growthPerDay, 0.5))
+		if n <= 0 {
+			continue
+		}
+		t.counts[BucketTiny] += n
+		t.bytes[BucketTiny] += n * t.avgNewFile
+		t.lastWrite = f.clock.Now()
+		t.writes++
+	}
+	// Onboarding: TablesPerMonth spread across 30 days.
+	newTables := f.cfg.TablesPerMonth / 30
+	rem := f.cfg.TablesPerMonth % 30
+	if rem > 0 && f.day%30 < rem {
+		newTables++
+	}
+	for i := 0; i < newTables; i++ {
+		f.onboard()
+	}
+}
+
+// ScanStats reports one day of the scan-heavy workload (Fig 11a).
+type ScanStats struct {
+	TablesScanned int
+	FilesScanned  int64
+	BytesScanned  int64
+	// QueryTime and QueryCost are modeled: time grows with per-file
+	// overhead and bytes; cost is App TBHr.
+	QueryTime time.Duration
+	QueryCost float64
+}
+
+// RunDailyScans models the daily scan-heavy workload: each table is read
+// with its scanShare probability; reads open every live file.
+func (f *Fleet) RunDailyScans() ScanStats {
+	var s ScanStats
+	const perFileOverhead = 30 * time.Millisecond
+	const scanBytesPerSec = float64(2 * storage.GB) // fleet-wide parallel
+	for _, t := range f.tables {
+		if !f.rng.Bernoulli(t.scanShare) {
+			continue
+		}
+		files := t.counts[0] + t.counts[1] + t.counts[2]
+		bytes := t.TotalBytes()
+		s.TablesScanned++
+		s.FilesScanned += files
+		s.BytesScanned += bytes
+	}
+	f.openCalls += s.FilesScanned
+	// Per-file overhead is paid across ~512 parallel tasks fleet-wide.
+	s.QueryTime = time.Duration(s.FilesScanned)*perFileOverhead/512 +
+		time.Duration(float64(s.BytesScanned)/scanBytesPerSec*float64(time.Second))
+	s.QueryCost = float64(s.FilesScanned)*0.000002 + float64(s.BytesScanned)/float64(storage.TB)*0.05
+	return s
+}
+
+// OpenCalls returns cumulative modeled HDFS open() RPCs.
+func (f *Fleet) OpenCalls() int64 { return f.openCalls }

@@ -1,0 +1,167 @@
+package lst
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// Property-based tests over random operation sequences: whatever mix of
+// appends, partition overwrites, and rewrites executes, the table's
+// invariants hold — version counts commits, live bytes match the applied
+// operations, the storage object set matches the metadata's live set, and
+// snapshot history stays monotonic.
+
+type opCode uint8
+
+func TestRandomOperationSequencesPreserveInvariants(t *testing.T) {
+	f := func(ops []opCode, seed int64) bool {
+		clock := sim.NewClock()
+		fs := storage.NewNameNode(storage.DefaultConfig(), clock, sim.NewRNG(1))
+		rng := sim.NewRNG(seed)
+		tbl, err := NewTable(TableConfig{
+			Database: "db", Name: "t",
+			Spec: PartitionSpec{Column: "d", Transform: TransformMonth},
+		}, fs, clock)
+		if err != nil {
+			return false
+		}
+		parts := []string{"p1", "p2", "p3"}
+		commits := int64(0)
+		var expectBytes int64
+
+		for _, op := range ops {
+			clock.Advance(time.Minute)
+			part := parts[rng.Intn(len(parts))]
+			switch op % 3 {
+			case 0: // append 1-3 files
+				n := rng.IntBetween(1, 3)
+				specs := make([]FileSpec, n)
+				var added int64
+				for i := range specs {
+					size := int64(rng.IntBetween(1, 64)) * storage.MB
+					specs[i] = FileSpec{Partition: part, SizeBytes: size, RowCount: size / 100}
+					added += size
+				}
+				if _, err := tbl.AppendFiles(specs); err != nil {
+					return false
+				}
+				commits++
+				expectBytes += added
+			case 1: // overwrite a partition with one file of equal bytes
+				files := tbl.FilesInPartition(part)
+				if len(files) == 0 {
+					continue
+				}
+				var bytes int64
+				for _, f := range files {
+					bytes += f.SizeBytes
+				}
+				if _, err := tbl.OverwritePartition(part, []FileSpec{
+					{Partition: part, SizeBytes: bytes, RowCount: bytes / 100},
+				}); err != nil {
+					return false
+				}
+				commits++
+			case 2: // rewrite (compact) a partition: merge all into one
+				files := tbl.FilesInPartition(part)
+				if len(files) < 2 {
+					continue
+				}
+				tx := tbl.NewTransaction(OpRewrite)
+				var bytes, rows int64
+				for _, f := range files {
+					tx.Remove(f.Path, f.Partition)
+					bytes += f.SizeBytes
+					rows += f.RowCount
+				}
+				tx.Add(FileSpec{Partition: part, SizeBytes: bytes, RowCount: rows})
+				if _, err := tx.Commit(); err != nil {
+					return false
+				}
+				commits++
+			}
+		}
+
+		// Invariant 1: version counts commits.
+		if tbl.Version() != commits {
+			return false
+		}
+		// Invariant 2: overwrites and rewrites conserve bytes; only
+		// appends added any.
+		if tbl.TotalBytes() != expectBytes {
+			return false
+		}
+		// Invariant 3: every live data file exists in storage with the
+		// recorded size.
+		for _, f := range tbl.LiveFiles() {
+			obj, err := fs.Stat(f.Path)
+			if err != nil || obj.Size != f.SizeBytes {
+				return false
+			}
+		}
+		// Invariant 4: storage data objects = live set exactly (eager
+		// physical cleanup).
+		dataObjs := 0
+		for _, o := range fs.List("/db/t/data/") {
+			_ = o
+			dataObjs++
+		}
+		if dataObjs != tbl.FileCount() {
+			return false
+		}
+		// Invariant 5: snapshot history is sequential and monotonic.
+		snaps := tbl.Snapshots()
+		if int64(len(snaps)) != commits {
+			return false
+		}
+		for i := 1; i < len(snaps); i++ {
+			if snaps[i].Sequence != snaps[i-1].Sequence+1 ||
+				snaps[i].Timestamp < snaps[i-1].Timestamp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved appends from "concurrent" writers all land, and
+// the final file count equals the number of appended files regardless of
+// interleaving order.
+func TestInterleavedAppendsAllLand(t *testing.T) {
+	f := func(order []uint8) bool {
+		clock := sim.NewClock()
+		fs := storage.NewNameNode(storage.DefaultConfig(), clock, sim.NewRNG(1))
+		tbl, err := NewTable(TableConfig{Database: "db", Name: "t"}, fs, clock)
+		if err != nil {
+			return false
+		}
+		if len(order) > 24 {
+			order = order[:24]
+		}
+		// Start one transaction per writer, then commit in the given
+		// interleaving.
+		txs := make([]*Transaction, len(order))
+		for i := range txs {
+			txs[i] = tbl.NewTransaction(OpAppend)
+			txs[i].Add(FileSpec{SizeBytes: storage.MB, RowCount: 1})
+		}
+		for _, idx := range order {
+			tx := txs[int(idx)%len(txs)]
+			tx.Commit() // double commits return ErrTransactionDone; fine
+		}
+		for _, tx := range txs {
+			tx.Commit()
+		}
+		return tbl.FileCount() == len(txs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,370 @@
+package lst
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// TableConfig describes a table at creation time.
+type TableConfig struct {
+	Database string
+	Name     string
+	Schema   Schema
+	Spec     PartitionSpec
+	Mode     WriteMode
+	// StrictRewriteConflicts reproduces the Apache Iceberg v1.2.0
+	// behaviour the paper observed (§4.4): a rewrite (compaction) commit
+	// fails validation whenever any other commit landed after its base
+	// snapshot, even when the two touch disjoint partitions. When false,
+	// rewrites only conflict on genuinely overlapping changes.
+	StrictRewriteConflicts bool
+	// ManifestEntriesPerFile controls how many file entries one manifest
+	// holds; each commit writes ceil(changes/entries) manifest objects.
+	ManifestEntriesPerFile int
+	// Props carries free-form table properties (e.g. "intermediate").
+	Props map[string]string
+}
+
+// Table is a log-structured table: a live file set plus an append-only
+// snapshot history, backed by a simulated file system for object
+// accounting. All methods are safe for concurrent use.
+type Table struct {
+	mu sync.Mutex
+
+	cfg   TableConfig
+	fs    *storage.NameNode
+	clock *sim.Clock
+
+	version    int64
+	snapshots  []*Snapshot
+	files      map[string]*DataFile
+	nextFileID int64
+	nextSnapID int64
+
+	created    time.Duration
+	lastWrite  time.Duration
+	writeCount int64
+
+	// metadataObjects tracks metadata file paths (metadata.json versions
+	// and manifests) currently held in storage; ExpireSnapshots trims it.
+	metadataObjects []string
+}
+
+// NewTable creates a table and writes its initial metadata object.
+func NewTable(cfg TableConfig, fs *storage.NameNode, clock *sim.Clock) (*Table, error) {
+	if cfg.Database == "" || cfg.Name == "" {
+		return nil, fmt.Errorf("lst: table requires database and name")
+	}
+	if cfg.ManifestEntriesPerFile <= 0 {
+		cfg.ManifestEntriesPerFile = 1000
+	}
+	t := &Table{
+		cfg:     cfg,
+		fs:      fs,
+		clock:   clock,
+		files:   make(map[string]*DataFile),
+		created: clock.Now(),
+	}
+	if err := t.writeMetadataLocked(0); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Identity and metadata accessors.
+
+// Database returns the owning database name.
+func (t *Table) Database() string { return t.cfg.Database }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.cfg.Name }
+
+// FullName returns database.table.
+func (t *Table) FullName() string { return t.cfg.Database + "." + t.cfg.Name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.cfg.Schema }
+
+// Spec returns the partition spec.
+func (t *Table) Spec() PartitionSpec { return t.cfg.Spec }
+
+// Mode returns the write mode (CoW or MoR).
+func (t *Table) Mode() WriteMode { return t.cfg.Mode }
+
+// Prop returns a table property.
+func (t *Table) Prop(key string) string { return t.cfg.Props[key] }
+
+// Created returns the virtual creation time.
+func (t *Table) Created() time.Duration { return t.created }
+
+// LastWrite returns the virtual time of the last committed write.
+func (t *Table) LastWrite() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastWrite
+}
+
+// WriteCount returns the number of committed transactions.
+func (t *Table) WriteCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.writeCount
+}
+
+// Version returns the current metadata version (number of commits).
+func (t *Table) Version() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// CurrentSnapshot returns the latest snapshot, or nil before any commit.
+func (t *Table) CurrentSnapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.snapshots) == 0 {
+		return nil
+	}
+	s := *t.snapshots[len(t.snapshots)-1]
+	return &s
+}
+
+// Snapshots returns a copy of the snapshot history.
+func (t *Table) Snapshots() []Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Snapshot, len(t.snapshots))
+	for i, s := range t.snapshots {
+		out[i] = *s
+	}
+	return out
+}
+
+// Statistics used by the observe phase.
+
+// FileCount returns the number of live data files (including delta files).
+func (t *Table) FileCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.files)
+}
+
+// DeltaFileCount returns the number of live MoR delta files.
+func (t *Table) DeltaFileCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, f := range t.files {
+		if f.IsDelta {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalBytes returns the live data bytes.
+func (t *Table) TotalBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b int64
+	for _, f := range t.files {
+		b += f.SizeBytes
+	}
+	return b
+}
+
+// SmallFileCount returns how many live files are smaller than threshold.
+func (t *Table) SmallFileCount(threshold int64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, f := range t.files {
+		if f.SizeBytes < threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveFiles returns a copy of the live file set sorted by path.
+func (t *Table) LiveFiles() []DataFile {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]DataFile, 0, len(t.files))
+	for _, f := range t.files {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Partitions returns the distinct partitions with live files, sorted.
+func (t *Table) Partitions() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]struct{}{}
+	for _, f := range t.files {
+		seen[f.Partition] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FilesInPartition returns the live files of one partition, sorted by path.
+func (t *Table) FilesInPartition(partition string) []DataFile {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []DataFile
+	for _, f := range t.files {
+		if f.Partition == partition {
+			out = append(out, *f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// SizeHistogram buckets live file sizes by ascending bounds, with a final
+// overflow bucket.
+func (t *Table) SizeHistogram(bounds []int64) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	counts := make([]int64, len(bounds)+1)
+	for _, f := range t.files {
+		placed := false
+		for i, b := range bounds {
+			if f.SizeBytes < b {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(bounds)]++
+		}
+	}
+	return counts
+}
+
+// MetadataObjectCount returns the number of metadata files (metadata.json
+// versions plus manifests) held in storage — the paper's cause (iv) of
+// small-file proliferation.
+func (t *Table) MetadataObjectCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.metadataObjects)
+}
+
+// path helpers
+
+func (t *Table) dataPathLocked(partition string) string {
+	part := partition
+	if part == "" {
+		part = "unpartitioned"
+	}
+	t.nextFileID++
+	return fmt.Sprintf("/%s/%s/data/%s/%08d.parquet", t.cfg.Database, t.cfg.Name, part, t.nextFileID)
+}
+
+// writeMetadataLocked writes the versioned metadata.json object.
+func (t *Table) writeMetadataLocked(version int64) error {
+	path := fmt.Sprintf("/%s/%s/metadata/v%d.metadata.json", t.cfg.Database, t.cfg.Name, version)
+	size := int64(4*storage.KB) + 256*int64(len(t.snapshots))
+	if err := t.fs.Create(path, size); err != nil {
+		return err
+	}
+	t.metadataObjects = append(t.metadataObjects, path)
+	return nil
+}
+
+// writeManifestsLocked writes manifest objects for a commit of n changed
+// file entries and returns how many manifests were written.
+func (t *Table) writeManifestsLocked(snapID int64, changed int) (int, error) {
+	if changed == 0 {
+		return 0, nil
+	}
+	per := t.cfg.ManifestEntriesPerFile
+	count := (changed + per - 1) / per
+	for i := 0; i < count; i++ {
+		entries := per
+		if i == count-1 {
+			entries = changed - per*(count-1)
+		}
+		path := fmt.Sprintf("/%s/%s/metadata/manifest-%d-%d.avro", t.cfg.Database, t.cfg.Name, snapID, i)
+		size := int64(8*storage.KB) + 128*int64(entries)
+		if err := t.fs.Create(path, size); err != nil {
+			return i, err
+		}
+		t.metadataObjects = append(t.metadataObjects, path)
+	}
+	return count, nil
+}
+
+// ExpireSnapshots drops all but the most recent keepLast snapshots and
+// deletes the metadata objects (old metadata.json versions and manifests
+// of dropped snapshots) from storage. It returns the number of storage
+// objects deleted. Data files are deleted eagerly at commit time in this
+// simulator (orphan cleanup is assumed immediate; see DESIGN.md §2), so
+// expiration only reclaims metadata.
+func (t *Table) ExpireSnapshots(keepLast int) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if keepLast < 1 {
+		keepLast = 1
+	}
+	if len(t.snapshots) <= keepLast {
+		return 0, nil
+	}
+	dropped := t.snapshots[:len(t.snapshots)-keepLast]
+	t.snapshots = append([]*Snapshot{}, t.snapshots[len(t.snapshots)-keepLast:]...)
+
+	droppedIDs := make(map[int64]struct{}, len(dropped))
+	for _, s := range dropped {
+		droppedIDs[s.ID] = struct{}{}
+	}
+	// Delete manifests belonging to dropped snapshots and metadata.json
+	// versions older than the oldest retained snapshot.
+	oldestRetained := t.snapshots[0].Sequence
+	deleted := 0
+	kept := t.metadataObjects[:0]
+	for _, path := range t.metadataObjects {
+		var snapID, idx, ver int64
+		if n, _ := fmt.Sscanf(tail(path), "manifest-%d-%d.avro", &snapID, &idx); n == 2 {
+			if _, drop := droppedIDs[snapID]; drop {
+				if err := t.fs.Delete(path); err == nil {
+					deleted++
+				}
+				continue
+			}
+		} else if n, _ := fmt.Sscanf(tail(path), "v%d.metadata.json", &ver); n == 1 {
+			if ver < oldestRetained {
+				if err := t.fs.Delete(path); err == nil {
+					deleted++
+				}
+				continue
+			}
+		}
+		kept = append(kept, path)
+	}
+	t.metadataObjects = kept
+	return deleted, nil
+}
+
+// tail returns the final path component.
+func tail(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,262 @@
+package lst
+
+import (
+	"fmt"
+
+	"autocomp/internal/storage"
+)
+
+// Transaction is an optimistic write against a table. Its base version is
+// captured at creation; Commit validates against commits that landed in
+// between, per operation-specific rules (Iceberg-style).
+//
+// A Transaction is not safe for concurrent use; concurrency happens across
+// transactions.
+type Transaction struct {
+	t           *Table
+	op          Operation
+	baseVersion int64
+	adds        []FileSpec
+	removes     []string
+	parts       map[string]struct{}
+	done        bool
+}
+
+// NewTransaction starts a transaction of the given operation kind against
+// the table's current version.
+func (t *Table) NewTransaction(op Operation) *Transaction {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &Transaction{
+		t:           t,
+		op:          op,
+		baseVersion: t.version,
+		parts:       make(map[string]struct{}),
+	}
+}
+
+// BaseVersion returns the table version the transaction started from.
+func (tx *Transaction) BaseVersion() int64 { return tx.baseVersion }
+
+// Add stages a new data file described by spec.
+func (tx *Transaction) Add(spec FileSpec) {
+	tx.adds = append(tx.adds, spec)
+	tx.touch(spec.Partition)
+}
+
+// Remove stages the removal of a live file by path. The partition is used
+// for conflict validation.
+func (tx *Transaction) Remove(path, partition string) {
+	tx.removes = append(tx.removes, path)
+	tx.touch(partition)
+}
+
+// TouchWholeTable marks the transaction as affecting the entire table
+// (used by full-table overwrites on partitioned tables).
+func (tx *Transaction) TouchWholeTable() { tx.parts[WholeTable] = struct{}{} }
+
+func (tx *Transaction) touch(partition string) {
+	if !tx.t.cfg.Spec.IsPartitioned() || partition == "" {
+		tx.parts[WholeTable] = struct{}{}
+		return
+	}
+	tx.parts[partition] = struct{}{}
+}
+
+func (tx *Transaction) partitions() []string {
+	out := make([]string, 0, len(tx.parts))
+	for p := range tx.parts {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Commit validates and applies the transaction. On success it returns the
+// new snapshot. Validation failures return ErrCommitConflict (wrapped) and
+// leave the table unchanged; the caller may retry with a fresh
+// transaction. Storage-level failures (e.g. namespace quota exhaustion)
+// are returned as-is.
+func (tx *Transaction) Commit() (*Snapshot, error) {
+	if tx.done {
+		return nil, ErrTransactionDone
+	}
+	tx.done = true
+
+	t := tx.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if err := tx.validateLocked(); err != nil {
+		return nil, err
+	}
+
+	// Quota pre-check: the commit will create len(adds) data objects plus
+	// metadata objects; fail atomically before touching storage.
+	changed := len(tx.adds) + len(tx.removes)
+	manifests := 0
+	if changed > 0 {
+		manifests = (changed + t.cfg.ManifestEntriesPerFile - 1) / t.cfg.ManifestEntriesPerFile
+	}
+	if q, ok := t.fs.QuotaFor(t.cfg.Database); ok && q.Max > 0 {
+		needed := int64(len(tx.adds)+manifests+1) - int64(len(tx.removes))
+		if q.Used+needed > q.Max {
+			return nil, fmt.Errorf("%w: namespace %q needs %d objects",
+				storage.ErrQuotaExceeded, t.cfg.Database, needed)
+		}
+	}
+
+	// Apply: physically remove replaced files, create added files.
+	for _, path := range tx.removes {
+		f := t.files[path]
+		delete(t.files, path)
+		_ = f // path validity established by validateLocked
+		if err := t.fs.Delete(path); err != nil {
+			return nil, fmt.Errorf("lst: removing %s: %w", path, err)
+		}
+	}
+	t.nextSnapID++
+	snapID := t.nextSnapID
+	var addedBytes int64
+	for _, spec := range tx.adds {
+		path := t.dataPathLocked(spec.Partition)
+		if err := t.fs.Create(path, spec.SizeBytes); err != nil {
+			return nil, err
+		}
+		t.files[path] = &DataFile{
+			Path:      path,
+			Partition: spec.Partition,
+			SizeBytes: spec.SizeBytes,
+			RowCount:  spec.RowCount,
+			IsDelta:   spec.IsDelta,
+			Clustered: spec.Clustered,
+			AddedAt:   t.clock.Now(),
+			Snapshot:  snapID,
+		}
+		addedBytes += spec.SizeBytes
+	}
+
+	mcount, err := t.writeManifestsLocked(snapID, changed)
+	if err != nil {
+		return nil, err
+	}
+	t.version++
+	if err := t.writeMetadataLocked(t.version); err != nil {
+		return nil, err
+	}
+
+	var totalBytes int64
+	for _, f := range t.files {
+		totalBytes += f.SizeBytes
+	}
+	snap := &Snapshot{
+		ID:         snapID,
+		Sequence:   t.version,
+		Timestamp:  t.clock.Now(),
+		Op:         tx.op,
+		Added:      len(tx.adds),
+		Removed:    len(tx.removes),
+		AddedBytes: addedBytes,
+		Partitions: tx.partitions(),
+		Manifests:  mcount,
+		TotalFiles: len(t.files),
+		TotalBytes: totalBytes,
+	}
+	t.snapshots = append(t.snapshots, snap)
+	t.lastWrite = t.clock.Now()
+	t.writeCount++
+	out := *snap
+	return &out, nil
+}
+
+// validateLocked implements the conflict rules. Must hold t.mu.
+func (tx *Transaction) validateLocked() error {
+	t := tx.t
+
+	// Removed files must still be live regardless of versions; a stale
+	// removal means another commit already rewrote or deleted them.
+	for _, path := range tx.removes {
+		if _, ok := t.files[path]; !ok {
+			return fmt.Errorf("%w: %s (%w)", ErrStaleFiles, path, ErrCommitConflict)
+		}
+	}
+
+	if tx.baseVersion == t.version {
+		return nil // no concurrent commits
+	}
+	concurrent := t.snapshots[tx.baseVersion:]
+
+	switch tx.op {
+	case OpAppend:
+		// Fast-append: appends never conflict, they rebase onto the new
+		// metadata (Iceberg's snapshot-isolation append path).
+		return nil
+
+	case OpOverwrite, OpDelete:
+		// Conflict when a concurrent non-append touched overlapping
+		// partitions: the rows this operation intended to replace may
+		// have changed.
+		mine := tx.partitions()
+		for _, s := range concurrent {
+			if s.Op == OpAppend {
+				continue
+			}
+			if partitionsOverlap(mine, s.Partitions) {
+				return fmt.Errorf("lst: %s vs concurrent %s on overlapping partitions: %w",
+					tx.op, s.Op, ErrCommitConflict)
+			}
+		}
+		return nil
+
+	case OpRewrite:
+		// Fast appends never invalidate a rewrite. Replace-type commits
+		// (overwrite/delete) invalidate it when their partitions overlap
+		// the rewrite's — so whole-table compactions are exposed to
+		// every concurrent update while partition-scope ones only race
+		// writes to that partition (§6.2: disruption probability falls
+		// with candidate size). Under StrictRewriteConflicts, a
+		// concurrent rewrite additionally conflicts even on disjoint
+		// partitions — the Iceberg v1.2.0 behaviour of §4.4 that forces
+		// partition-sequential scheduling.
+		mine := tx.partitions()
+		for _, s := range concurrent {
+			if s.Op == OpAppend {
+				continue
+			}
+			if s.Op == OpRewrite && t.cfg.StrictRewriteConflicts {
+				return fmt.Errorf("lst: rewrite vs concurrent rewrite (strict validation, disjoint partitions conflict): %w",
+					ErrCommitConflict)
+			}
+			if partitionsOverlap(mine, s.Partitions) {
+				return fmt.Errorf("lst: rewrite vs concurrent %s on overlapping partitions: %w",
+					s.Op, ErrCommitConflict)
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("lst: unknown operation %d", tx.op)
+	}
+}
+
+// AppendFiles is a convenience wrapper: stage and commit an append of the
+// given file specs in one call.
+func (t *Table) AppendFiles(specs []FileSpec) (*Snapshot, error) {
+	tx := t.NewTransaction(OpAppend)
+	for _, s := range specs {
+		tx.Add(s)
+	}
+	return tx.Commit()
+}
+
+// OverwritePartition replaces all live files in a partition with the given
+// specs (Copy-on-Write update path).
+func (t *Table) OverwritePartition(partition string, specs []FileSpec) (*Snapshot, error) {
+	tx := t.NewTransaction(OpOverwrite)
+	for _, f := range t.FilesInPartition(partition) {
+		tx.Remove(f.Path, f.Partition)
+	}
+	for _, s := range specs {
+		tx.Add(s)
+	}
+	return tx.Commit()
+}

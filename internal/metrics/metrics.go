@@ -1,0 +1,337 @@
+// Package metrics provides the telemetry primitives the experiments use to
+// report results in the shape of the paper's tables and figures: size
+// histograms (Figures 1–2), time series with normalization and smoothing
+// (Figures 10–11), candlestick summaries of latency distributions
+// (Figure 8), and a plain-text table renderer.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram counts values into buckets defined by ascending upper bounds;
+// values >= the last bound land in the overflow bucket.
+type Histogram struct {
+	Bounds []int64
+	Counts []int64
+}
+
+// NewHistogram returns a histogram over the given ascending bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{Bounds: b, Counts: make([]int64, len(bounds)+1)}
+}
+
+// Add counts one observation of v.
+func (h *Histogram) Add(v int64) {
+	for i, b := range h.Bounds {
+		if v < b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// AddCounts merges pre-bucketed counts (e.g. from storage.SizeHistogram);
+// it panics when lengths mismatch.
+func (h *Histogram) AddCounts(counts []int64) {
+	if len(counts) != len(h.Counts) {
+		panic(fmt.Sprintf("metrics: AddCounts length %d != %d", len(counts), len(h.Counts)))
+	}
+	for i, c := range counts {
+		h.Counts[i] += c
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// FractionBelow returns the fraction of observations below bound, which
+// must be one of the histogram bounds; it returns 0 for an empty
+// histogram and panics on an unknown bound.
+func (h *Histogram) FractionBelow(bound int64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	var below int64
+	for i, b := range h.Bounds {
+		if b > bound {
+			break
+		}
+		below += h.Counts[i]
+		if b == bound {
+			return float64(below) / float64(total)
+		}
+	}
+	panic(fmt.Sprintf("metrics: FractionBelow(%d): not a bucket bound", bound))
+}
+
+// BucketLabels renders human-readable labels like "<128MB", ">=1GB".
+func (h *Histogram) BucketLabels(format func(int64) string) []string {
+	labels := make([]string, len(h.Counts))
+	for i := range h.Counts {
+		switch {
+		case i == 0:
+			labels[i] = "<" + format(h.Bounds[0])
+		case i == len(h.Bounds):
+			labels[i] = ">=" + format(h.Bounds[len(h.Bounds)-1])
+		default:
+			labels[i] = fmt.Sprintf("[%s,%s)", format(h.Bounds[i-1]), format(h.Bounds[i]))
+		}
+	}
+	return labels
+}
+
+// FormatBytes renders a byte count using binary units ("512MB", "1GB").
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<40 && b%(1<<40) == 0:
+		return fmt.Sprintf("%dTB", b>>40)
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Point is one time-series observation at a virtual timestamp.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries is an append-only series of observations.
+type TimeSeries struct {
+	Name   string
+	Points []Point
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
+
+// Add appends an observation.
+func (s *TimeSeries) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of points.
+func (s *TimeSeries) Len() int { return len(s.Points) }
+
+// Values returns the values in order.
+func (s *TimeSeries) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Last returns the most recent value, or 0 for an empty series.
+func (s *TimeSeries) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Normalized returns a copy of the series scaled so its maximum absolute
+// value is 1 (the paper's figures plot "Normalized Value"). An all-zero
+// series is returned unchanged.
+func (s *TimeSeries) Normalized() *TimeSeries {
+	max := 0.0
+	for _, p := range s.Points {
+		if a := math.Abs(p.V); a > max {
+			max = a
+		}
+	}
+	out := &TimeSeries{Name: s.Name, Points: make([]Point, len(s.Points))}
+	copy(out.Points, s.Points)
+	if max == 0 {
+		return out
+	}
+	for i := range out.Points {
+		out.Points[i].V /= max
+	}
+	return out
+}
+
+// SmoothedEMA returns a copy smoothed with an exponential moving average
+// (Figure 11a plots "Smoothed Normalized Value"). alpha in (0,1]; higher
+// tracks the raw series more closely.
+func (s *TimeSeries) SmoothedEMA(alpha float64) *TimeSeries {
+	if alpha <= 0 || alpha > 1 {
+		panic("metrics: SmoothedEMA alpha must be in (0,1]")
+	}
+	out := &TimeSeries{Name: s.Name, Points: make([]Point, len(s.Points))}
+	var ema float64
+	for i, p := range s.Points {
+		if i == 0 {
+			ema = p.V
+		} else {
+			ema = alpha*p.V + (1-alpha)*ema
+		}
+		out.Points[i] = Point{T: p.T, V: ema}
+	}
+	return out
+}
+
+// Candlestick is the five-number summary the paper plots per hour in
+// Figure 8: min, 25th percentile, median, 75th percentile, max.
+type Candlestick struct {
+	Min, P25, Median, P75, Max float64
+	N                          int
+}
+
+// NewCandlestick summarizes samples; it returns a zero Candlestick for an
+// empty input.
+func NewCandlestick(samples []float64) Candlestick {
+	if len(samples) == 0 {
+		return Candlestick{}
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return Candlestick{
+		Min:    s[0],
+		P25:    quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.50),
+		P75:    quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// quantileSorted returns the q-quantile of an ascending slice using linear
+// interpolation.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMaxNormalize maps xs onto [0,1] with min-max scaling, the trait
+// normalization from the paper's §4.3. A constant slice maps to all
+// zeros (the paper's formula is undefined there; zero keeps scoring
+// deterministic and neutral).
+func MinMaxNormalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max == min {
+		return out
+	}
+	// Compute with halved operands so that max-min cannot overflow for
+	// extreme inputs; the ratio is unchanged.
+	span := max/2 - min/2
+	for i, x := range xs {
+		v := (x/2 - min/2) / span
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// RenderTable formats headers and rows as an aligned plain-text table,
+// used by the benchmark harness to print each paper table/figure.
+func RenderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramAdd(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	for _, v := range []int64{1, 5, 50, 500, 5000} {
+		h.Add(v)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBoundaryValueGoesUp(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Add(10) // not < 10, lands in overflow
+	if h.Counts[0] != 0 || h.Counts[1] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramAddCounts(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.AddCounts([]int64{3, 4})
+	if h.Counts[0] != 3 || h.Counts[1] != 4 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	h.AddCounts([]int64{1})
+}
+
+func TestFractionBelow(t *testing.T) {
+	h := NewHistogram([]int64{128, 512})
+	h.AddCounts([]int64{83, 10, 7})
+	if got := h.FractionBelow(128); math.Abs(got-0.83) > 1e-9 {
+		t.Fatalf("FractionBelow(128) = %v", got)
+	}
+	if got := h.FractionBelow(512); math.Abs(got-0.93) > 1e-9 {
+		t.Fatalf("FractionBelow(512) = %v", got)
+	}
+}
+
+func TestFractionBelowEmpty(t *testing.T) {
+	h := NewHistogram([]int64{128})
+	if h.FractionBelow(128) != 0 {
+		t.Fatal("empty histogram fraction != 0")
+	}
+}
+
+func TestFractionBelowUnknownBoundPanics(t *testing.T) {
+	h := NewHistogram([]int64{128})
+	h.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown bound did not panic")
+		}
+	}()
+	h.FractionBelow(64)
+}
+
+func TestBucketLabels(t *testing.T) {
+	h := NewHistogram([]int64{128 << 20, 512 << 20})
+	labels := h.BucketLabels(FormatBytes)
+	want := []string{"<128MB", "[128MB,512MB)", ">=512MB"}
+	for i, w := range want {
+		if labels[i] != w {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		1 << 10:   "1KB",
+		128 << 20: "128MB",
+		1 << 30:   "1GB",
+		2 << 40:   "2TB",
+		1500:      "1500B",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Fatalf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTimeSeriesBasics(t *testing.T) {
+	s := NewTimeSeries("files")
+	s.Add(time.Hour, 10)
+	s.Add(2*time.Hour, 20)
+	if s.Len() != 2 || s.Last() != 20 {
+		t.Fatalf("series = %+v", s)
+	}
+	vals := s.Values()
+	if vals[0] != 10 || vals[1] != 20 {
+		t.Fatalf("values = %v", vals)
+	}
+	if (&TimeSeries{}).Last() != 0 {
+		t.Fatal("empty Last != 0")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	s := NewTimeSeries("x")
+	s.Add(0, 5)
+	s.Add(1, -10)
+	n := s.Normalized()
+	if n.Points[0].V != 0.5 || n.Points[1].V != -1 {
+		t.Fatalf("normalized = %+v", n.Points)
+	}
+	// Original untouched.
+	if s.Points[0].V != 5 {
+		t.Fatal("Normalized mutated source")
+	}
+	z := NewTimeSeries("zero")
+	z.Add(0, 0)
+	if z.Normalized().Points[0].V != 0 {
+		t.Fatal("all-zero normalize changed values")
+	}
+}
+
+func TestSmoothedEMA(t *testing.T) {
+	s := NewTimeSeries("x")
+	for _, v := range []float64{0, 10, 0, 10} {
+		s.Add(0, v)
+	}
+	sm := s.SmoothedEMA(0.5)
+	want := []float64{0, 5, 2.5, 6.25}
+	for i, w := range want {
+		if math.Abs(sm.Points[i].V-w) > 1e-9 {
+			t.Fatalf("ema[%d] = %v, want %v", i, sm.Points[i].V, w)
+		}
+	}
+}
+
+func TestSmoothedEMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha=0 did not panic")
+		}
+	}()
+	NewTimeSeries("x").SmoothedEMA(0)
+}
+
+func TestCandlestick(t *testing.T) {
+	c := NewCandlestick([]float64{5, 1, 3, 2, 4})
+	if c.Min != 1 || c.Max != 5 || c.Median != 3 || c.N != 5 {
+		t.Fatalf("candlestick = %+v", c)
+	}
+	if c.P25 != 2 || c.P75 != 4 {
+		t.Fatalf("quartiles = %+v", c)
+	}
+}
+
+func TestCandlestickEmptyAndSingle(t *testing.T) {
+	if c := NewCandlestick(nil); c.N != 0 || c.Max != 0 {
+		t.Fatalf("empty candlestick = %+v", c)
+	}
+	c := NewCandlestick([]float64{7})
+	if c.Min != 7 || c.Median != 7 || c.Max != 7 {
+		t.Fatalf("single candlestick = %+v", c)
+	}
+}
+
+func TestCandlestickDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewCandlestick(in)
+	if !sort.Float64sAreSorted(in) && (in[0] != 3 || in[1] != 1) {
+		t.Fatalf("input mutated: %v", in)
+	}
+	if in[0] != 3 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 1e-9 {
+		t.Fatalf("stddev = %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty/short stats not zero")
+	}
+}
+
+func TestMinMaxNormalizeRangeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		out := MinMaxNormalize(xs)
+		if len(out) != len(xs) {
+			return false
+		}
+		for _, v := range out {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxNormalizeExtremes(t *testing.T) {
+	out := MinMaxNormalize([]float64{10, 20, 30})
+	if out[0] != 0 || out[2] != 1 || out[1] != 0.5 {
+		t.Fatalf("normalize = %v", out)
+	}
+	// Constant input maps to zeros.
+	for _, v := range MinMaxNormalize([]float64{4, 4, 4}) {
+		if v != 0 {
+			t.Fatal("constant input must normalize to 0")
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([]string{"Hour", "Conflicts"}, [][]string{
+		{"1", "23"},
+		{"2", "0"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Hour") || !strings.Contains(lines[0], "Conflicts") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestQuantileSortedInterpolation(t *testing.T) {
+	s := []float64{0, 10}
+	if q := quantileSorted(s, 0.25); q != 2.5 {
+		t.Fatalf("q25 = %v", q)
+	}
+	if q := quantileSorted([]float64{7}, 0.9); q != 7 {
+		t.Fatalf("single-element quantile = %v", q)
+	}
+}

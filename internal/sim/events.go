@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a closure scheduled to run at a virtual time. Events scheduled
+// for the same instant run in scheduling order (the seq field breaks ties),
+// which keeps simulations deterministic.
+type Event struct {
+	At  time.Duration
+	Fn  func()
+	seq int64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a discrete-event scheduler bound to a Clock. Running the
+// queue advances the clock to each event's timestamp before invoking it.
+type EventQueue struct {
+	clock *Clock
+	h     eventHeap
+	seq   int64
+}
+
+// NewEventQueue returns an event queue driving clock.
+func NewEventQueue(clock *Clock) *EventQueue {
+	return &EventQueue{clock: clock}
+}
+
+// Clock returns the clock this queue drives.
+func (q *EventQueue) Clock() *Clock { return q.clock }
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// ScheduleAt enqueues fn to run at absolute virtual time t. Scheduling in
+// the past panics.
+func (q *EventQueue) ScheduleAt(t time.Duration, fn func()) {
+	if t < q.clock.Now() {
+		panic("sim: ScheduleAt in the past")
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{At: t, Fn: fn, seq: q.seq})
+}
+
+// ScheduleAfter enqueues fn to run d after the current virtual time.
+func (q *EventQueue) ScheduleAfter(d time.Duration, fn func()) {
+	q.ScheduleAt(q.clock.Now()+d, fn)
+}
+
+// ScheduleEvery enqueues fn to run every period until (and excluding)
+// events at or after until. The first run is one period from now.
+func (q *EventQueue) ScheduleEvery(period, until time.Duration, fn func()) {
+	if period <= 0 {
+		panic("sim: ScheduleEvery non-positive period")
+	}
+	var rearm func()
+	rearm = func() {
+		fn()
+		next := q.clock.Now() + period
+		if next < until {
+			q.ScheduleAt(next, rearm)
+		}
+	}
+	first := q.clock.Now() + period
+	if first < until {
+		q.ScheduleAt(first, rearm)
+	}
+}
+
+// RunUntil executes events in timestamp order up to and including time t,
+// advancing the clock to each event and finally to t. It returns the
+// number of events executed.
+func (q *EventQueue) RunUntil(t time.Duration) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].At <= t {
+		e := heap.Pop(&q.h).(*Event)
+		if e.At > q.clock.Now() {
+			q.clock.Set(e.At)
+		}
+		e.Fn()
+		n++
+	}
+	if t > q.clock.Now() {
+		q.clock.Set(t)
+	}
+	return n
+}
+
+// RunAll executes every pending event (including events scheduled by other
+// events) and returns the number executed.
+func (q *EventQueue) RunAll() int {
+	n := 0
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.At > q.clock.Now() {
+			q.clock.Set(e.At)
+		}
+		e.Fn()
+		n++
+	}
+	return n
+}

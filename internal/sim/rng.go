@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random number generator seeded explicitly. It
+// wraps math/rand with the distribution helpers the simulators need
+// (log-normal file sizes, exponential inter-arrivals, jittered values).
+//
+// A nil RNG is not usable; construct with NewRNG.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed. Equal seeds produce equal
+// streams.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives a new independent generator from this one. Forking lets a
+// simulation hand stable sub-streams to components so that adding draws in
+// one component does not perturb another.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n returns a pseudo-random int64 in [0, n). It panics if n <= 0.
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// LogNormal returns a draw from a log-normal distribution parameterized by
+// the mean and standard deviation of the underlying normal. File sizes in
+// data lakes are heavy-tailed; the paper's Figure 1 distributions are well
+// approximated by log-normals around the writer's characteristic size.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// LogNormalAround returns a log-normal draw whose median is median and
+// whose spread is controlled by sigma (sigma of the underlying normal).
+func (g *RNG) LogNormalAround(median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return g.LogNormal(math.Log(median), sigma)
+}
+
+// Exp returns an exponentially distributed float64 with the given rate
+// (mean 1/rate). Used for inter-arrival times in query streams.
+func (g *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: Exp rate must be positive")
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// Jitter returns v multiplied by a uniform factor in [1-frac, 1+frac].
+func (g *RNG) Jitter(v, frac float64) float64 {
+	if frac <= 0 {
+		return v
+	}
+	return v * (1 + frac*(2*g.r.Float64()-1))
+}
+
+// Pareto returns a draw from a Pareto distribution with scale xm and shape
+// alpha. Used for the fleet simulator's table-size distribution, which is
+// heavy-tailed in production (a few enormous tables, many small ones).
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("sim: Pareto parameters must be positive")
+	}
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// IntBetween returns a uniform int in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (g *RNG) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("sim: IntBetween hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * time.Second)
+	c.Advance(10 * time.Second)
+	if got := c.Now(); got != 15*time.Second {
+		t.Fatalf("Now = %v, want 15s", got)
+	}
+	if got := c.Hours(); math.Abs(got-15.0/3600) > 1e-12 {
+		t.Fatalf("Hours = %v", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Second)
+}
+
+func TestClockSetBackwardsPanics(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards did not panic")
+		}
+	}()
+	c.Set(time.Second)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	f1 := parent.Fork()
+	// The fork stream must be deterministic given the parent state.
+	parent2 := NewRNG(7)
+	f2 := parent2.Fork()
+	for i := 0; i < 100; i++ {
+		if f1.Int63() != f2.Int63() {
+			t.Fatalf("forks from identical parents diverged at %d", i)
+		}
+	}
+}
+
+func TestLogNormalAroundMedian(t *testing.T) {
+	g := NewRNG(3)
+	const median = 512.0
+	below := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.LogNormalAround(median, 0.8) < median {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("median property violated: %.3f below", frac)
+	}
+}
+
+func TestLogNormalAroundZeroMedian(t *testing.T) {
+	if got := NewRNG(1).LogNormalAround(0, 1); got != 0 {
+		t.Fatalf("LogNormalAround(0) = %v, want 0", got)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 50; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(11)
+	const rate = 4.0
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	g := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		if v := g.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto draw %v below scale", v)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	g := NewRNG(17)
+	f := func(seedless uint8) bool {
+		v := g.Jitter(100, 0.25)
+		return v >= 75 && v <= 125
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	g := NewRNG(19)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := g.IntBetween(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntBetween out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Fatalf("IntBetween never produced %d", v)
+		}
+	}
+	if g.IntBetween(4, 4) != 4 {
+		t.Fatal("IntBetween(4,4) != 4")
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	var order []int
+	q.ScheduleAt(3*time.Second, func() { order = append(order, 3) })
+	q.ScheduleAt(1*time.Second, func() { order = append(order, 1) })
+	q.ScheduleAt(2*time.Second, func() { order = append(order, 2) })
+	n := q.RunAll()
+	if n != 3 {
+		t.Fatalf("RunAll executed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", c.Now())
+	}
+}
+
+func TestEventQueueTieBreakBySchedulingOrder(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	var order []string
+	q.ScheduleAt(time.Second, func() { order = append(order, "a") })
+	q.ScheduleAt(time.Second, func() { order = append(order, "b") })
+	q.ScheduleAt(time.Second, func() { order = append(order, "c") })
+	q.RunAll()
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("tie order = %v", order)
+	}
+}
+
+func TestEventQueueRunUntil(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	ran := 0
+	q.ScheduleAt(time.Second, func() { ran++ })
+	q.ScheduleAt(5*time.Second, func() { ran++ })
+	n := q.RunUntil(2 * time.Second)
+	if n != 1 || ran != 1 {
+		t.Fatalf("RunUntil ran %d events", ran)
+	}
+	if c.Now() != 2*time.Second {
+		t.Fatalf("clock after RunUntil = %v", c.Now())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestEventQueueCascading(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			q.ScheduleAfter(time.Second, chain)
+		}
+	}
+	q.ScheduleAt(time.Second, chain)
+	q.RunAll()
+	if count != 5 {
+		t.Fatalf("cascade count = %d, want 5", count)
+	}
+	if c.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", c.Now())
+	}
+}
+
+func TestScheduleEvery(t *testing.T) {
+	c := NewClock()
+	q := NewEventQueue(c)
+	ticks := 0
+	q.ScheduleEvery(time.Hour, 5*time.Hour, func() { ticks++ })
+	q.RunUntil(10 * time.Hour)
+	if ticks != 4 {
+		t.Fatalf("ticks = %d, want 4 (at hours 1..4)", ticks)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Hour)
+	q := NewEventQueue(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in past did not panic")
+		}
+	}()
+	q.ScheduleAt(time.Minute, func() {})
+}

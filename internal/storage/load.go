@@ -1,0 +1,61 @@
+package storage
+
+import "time"
+
+// loadTracker measures RPC rate over a rolling window of per-second
+// buckets. It tolerates large virtual-time jumps (the event queue may skip
+// hours between RPCs) by evicting stale buckets lazily.
+type loadTracker struct {
+	window  time.Duration
+	buckets []loadBucket
+}
+
+type loadBucket struct {
+	second int64
+	count  int64
+}
+
+func newLoadTracker(window time.Duration) *loadTracker {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &loadTracker{window: window}
+}
+
+// add records n RPCs at virtual time now.
+func (t *loadTracker) add(now time.Duration, n int64) {
+	sec := int64(now / time.Second)
+	if len(t.buckets) > 0 && t.buckets[len(t.buckets)-1].second == sec {
+		t.buckets[len(t.buckets)-1].count += n
+	} else {
+		t.buckets = append(t.buckets, loadBucket{second: sec, count: n})
+	}
+	t.evict(sec)
+}
+
+// rate returns the RPC rate (per second) over the window ending at now.
+func (t *loadTracker) rate(now time.Duration) float64 {
+	sec := int64(now / time.Second)
+	t.evict(sec)
+	var total int64
+	for _, b := range t.buckets {
+		total += b.count
+	}
+	winSecs := float64(t.window / time.Second)
+	if winSecs <= 0 {
+		winSecs = 1
+	}
+	return float64(total) / winSecs
+}
+
+// evict drops buckets older than the window relative to currentSec.
+func (t *loadTracker) evict(currentSec int64) {
+	horizon := currentSec - int64(t.window/time.Second)
+	i := 0
+	for i < len(t.buckets) && t.buckets[i].second <= horizon {
+		i++
+	}
+	if i > 0 {
+		t.buckets = append(t.buckets[:0], t.buckets[i:]...)
+	}
+}

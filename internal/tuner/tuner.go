@@ -1,0 +1,269 @@
+// Package tuner implements the black-box parameter optimization the paper
+// uses for auto-tuning compaction triggers (§6.3): the MLOS framework
+// drives the FLAML optimizer to iteratively refine threshold values that
+// minimize end-to-end workload duration.
+//
+// Two optimizers are provided: RandomSearch (the baseline) and CFO, a
+// FLAML-style randomized direct-search method (local search with adaptive
+// step size and restarts). Both are deterministic given a seed.
+package tuner
+
+import (
+	"math"
+	"sort"
+
+	"autocomp/internal/sim"
+)
+
+// Param is one tunable dimension.
+type Param struct {
+	Name string
+	Min  float64
+	Max  float64
+	// Log searches the dimension in log space (for thresholds spanning
+	// orders of magnitude).
+	Log bool
+}
+
+// clamp keeps v inside the parameter's range.
+func (p Param) clamp(v float64) float64 {
+	if v < p.Min {
+		return p.Min
+	}
+	if v > p.Max {
+		return p.Max
+	}
+	return v
+}
+
+// Trial is one evaluated configuration. Lower scores are better (the
+// paper's objective is end-to-end experiment duration).
+type Trial struct {
+	Iteration int
+	Params    map[string]float64
+	Score     float64
+}
+
+// Objective evaluates a configuration and returns its score (lower is
+// better).
+type Objective func(params map[string]float64) float64
+
+// Optimizer searches a parameter space.
+type Optimizer interface {
+	Name() string
+	// Optimize runs iters evaluations of obj and returns every trial in
+	// execution order.
+	Optimize(obj Objective, iters int) []Trial
+}
+
+// Best returns the lowest-scoring trial (the earliest on ties).
+func Best(trials []Trial) Trial {
+	if len(trials) == 0 {
+		return Trial{}
+	}
+	best := trials[0]
+	for _, t := range trials[1:] {
+		if t.Score < best.Score {
+			best = t
+		}
+	}
+	return best
+}
+
+// Scores projects trial scores in execution order (the y-axis of the
+// paper's Figure 9).
+func Scores(trials []Trial) []float64 {
+	out := make([]float64, len(trials))
+	for i, t := range trials {
+		out[i] = t.Score
+	}
+	return out
+}
+
+// RandomSearch samples configurations uniformly (log-uniformly for Log
+// params).
+type RandomSearch struct {
+	Params []Param
+	Seed   int64
+}
+
+// Name implements Optimizer.
+func (RandomSearch) Name() string { return "random-search" }
+
+// Optimize implements Optimizer.
+func (r RandomSearch) Optimize(obj Objective, iters int) []Trial {
+	rng := sim.NewRNG(r.Seed)
+	trials := make([]Trial, 0, iters)
+	for i := 0; i < iters; i++ {
+		params := map[string]float64{}
+		for _, p := range r.Params {
+			params[p.Name] = sample(rng, p)
+		}
+		trials = append(trials, Trial{Iteration: i, Params: params, Score: obj(params)})
+	}
+	return trials
+}
+
+func sample(rng *sim.RNG, p Param) float64 {
+	if p.Log && p.Min > 0 {
+		lo, hi := math.Log(p.Min), math.Log(p.Max)
+		return math.Exp(lo + rng.Float64()*(hi-lo))
+	}
+	return p.Min + rng.Float64()*(p.Max-p.Min)
+}
+
+// CFO is a FLAML-style randomized direct-search optimizer: starting from
+// a low-cost point, it proposes a random direction at the current step
+// size, moves on improvement (doubling the step), shrinks the step on
+// repeated failure, and restarts from a fresh random point when the step
+// collapses.
+type CFO struct {
+	Params []Param
+	Seed   int64
+	// InitialStep is the step size as a fraction of each dimension's
+	// range (default 0.25).
+	InitialStep float64
+	// ShrinkAfter is the number of consecutive failures before the step
+	// halves (default 2).
+	ShrinkAfter int
+}
+
+// Name implements Optimizer.
+func (CFO) Name() string { return "flaml-cfo" }
+
+// Optimize implements Optimizer.
+func (c CFO) Optimize(obj Objective, iters int) []Trial {
+	if c.InitialStep <= 0 {
+		c.InitialStep = 0.25
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 2
+	}
+	rng := sim.NewRNG(c.Seed)
+	var trials []Trial
+
+	eval := func(i int, params map[string]float64) Trial {
+		t := Trial{Iteration: i, Params: clone(params), Score: obj(params)}
+		trials = append(trials, t)
+		return t
+	}
+
+	// Start from the low end of each range (FLAML's low-cost-first
+	// heuristic: cheap configurations are tried before expensive ones).
+	current := map[string]float64{}
+	for _, p := range c.Params {
+		current[p.Name] = p.Min
+	}
+	best := eval(0, current)
+	step := c.InitialStep
+	failures := 0
+
+	for i := 1; i < iters; i++ {
+		proposal := clone(best.Params)
+		for _, p := range c.Params {
+			span := p.Max - p.Min
+			delta := (2*rng.Float64() - 1) * step * span
+			if p.Log && p.Min > 0 {
+				// Log-space move.
+				lo, hi := math.Log(p.Min), math.Log(p.Max)
+				cur := math.Log(proposal[p.Name])
+				cur += (2*rng.Float64() - 1) * step * (hi - lo)
+				proposal[p.Name] = p.clamp(math.Exp(cur))
+				continue
+			}
+			proposal[p.Name] = p.clamp(proposal[p.Name] + delta)
+		}
+		t := eval(i, proposal)
+		if t.Score < best.Score {
+			best = t
+			step = math.Min(step*2, 0.5)
+			failures = 0
+			continue
+		}
+		failures++
+		if failures >= c.ShrinkAfter {
+			step /= 2
+			failures = 0
+		}
+		if step < 0.01 {
+			// Restart from a fresh random point.
+			fresh := map[string]float64{}
+			for _, p := range c.Params {
+				fresh[p.Name] = sample(rng, p)
+			}
+			if i+1 < iters {
+				i++
+				t := eval(i, fresh)
+				if t.Score < best.Score {
+					best = t
+				}
+			}
+			step = c.InitialStep
+		}
+	}
+	return trials
+}
+
+func clone(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// GridSearch evaluates an even grid over each parameter (full factorial);
+// useful for the ablation studies.
+type GridSearch struct {
+	Params []Param
+	// PointsPerDim is the grid resolution (default 5).
+	PointsPerDim int
+}
+
+// Name implements Optimizer.
+func (GridSearch) Name() string { return "grid-search" }
+
+// Optimize implements Optimizer; iters caps the number of grid points
+// evaluated (0 = all).
+func (g GridSearch) Optimize(obj Objective, iters int) []Trial {
+	n := g.PointsPerDim
+	if n <= 1 {
+		n = 5
+	}
+	grids := make([][]float64, len(g.Params))
+	for i, p := range g.Params {
+		grids[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			frac := float64(j) / float64(n-1)
+			if p.Log && p.Min > 0 {
+				lo, hi := math.Log(p.Min), math.Log(p.Max)
+				grids[i][j] = math.Exp(lo + frac*(hi-lo))
+			} else {
+				grids[i][j] = p.Min + frac*(p.Max-p.Min)
+			}
+		}
+	}
+	var trials []Trial
+	var walk func(dim int, params map[string]float64)
+	walk = func(dim int, params map[string]float64) {
+		if iters > 0 && len(trials) >= iters {
+			return
+		}
+		if dim == len(g.Params) {
+			trials = append(trials, Trial{
+				Iteration: len(trials),
+				Params:    clone(params),
+				Score:     obj(params),
+			})
+			return
+		}
+		for _, v := range grids[dim] {
+			params[g.Params[dim].Name] = v
+			walk(dim+1, params)
+		}
+	}
+	walk(0, map[string]float64{})
+	// Keep deterministic order by iteration.
+	sort.Slice(trials, func(i, j int) bool { return trials[i].Iteration < trials[j].Iteration })
+	return trials
+}

@@ -1,0 +1,138 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+)
+
+// bowl is a smooth objective minimized at (3, 7).
+func bowl(p map[string]float64) float64 {
+	dx := p["x"] - 3
+	dy := p["y"] - 7
+	return dx*dx + dy*dy
+}
+
+var bowlParams = []Param{
+	{Name: "x", Min: 0, Max: 10},
+	{Name: "y", Min: 0, Max: 10},
+}
+
+func TestRandomSearchFindsDecentPoint(t *testing.T) {
+	trials := RandomSearch{Params: bowlParams, Seed: 1}.Optimize(bowl, 200)
+	if len(trials) != 200 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	best := Best(trials)
+	if best.Score > 2 {
+		t.Fatalf("random search best = %v", best.Score)
+	}
+}
+
+func TestCFOConvergesBetterThanRandom(t *testing.T) {
+	const iters = 60
+	rnd := Best(RandomSearch{Params: bowlParams, Seed: 5}.Optimize(bowl, iters))
+	cfo := Best(CFO{Params: bowlParams, Seed: 5}.Optimize(bowl, iters))
+	if cfo.Score > rnd.Score*1.5 {
+		t.Fatalf("CFO %v much worse than random %v", cfo.Score, rnd.Score)
+	}
+	if cfo.Score > 1.0 {
+		t.Fatalf("CFO did not converge: %v", cfo.Score)
+	}
+}
+
+func TestCFODeterministic(t *testing.T) {
+	a := CFO{Params: bowlParams, Seed: 9}.Optimize(bowl, 40)
+	b := CFO{Params: bowlParams, Seed: 9}.Optimize(bowl, 40)
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			t.Fatalf("trial %d differs", i)
+		}
+	}
+}
+
+func TestCFOStartsLowCostFirst(t *testing.T) {
+	trials := CFO{Params: bowlParams, Seed: 1}.Optimize(bowl, 10)
+	if trials[0].Params["x"] != 0 || trials[0].Params["y"] != 0 {
+		t.Fatalf("first trial = %+v, want low end", trials[0].Params)
+	}
+}
+
+func TestCFORespectsBounds(t *testing.T) {
+	trials := CFO{Params: bowlParams, Seed: 3}.Optimize(bowl, 100)
+	for _, tr := range trials {
+		for _, p := range bowlParams {
+			v := tr.Params[p.Name]
+			if v < p.Min || v > p.Max {
+				t.Fatalf("param %s=%v outside [%v,%v]", p.Name, v, p.Min, p.Max)
+			}
+		}
+	}
+}
+
+func TestLogSpaceSampling(t *testing.T) {
+	params := []Param{{Name: "t", Min: 1, Max: 10000, Log: true}}
+	trials := RandomSearch{Params: params, Seed: 2}.Optimize(func(p map[string]float64) float64 {
+		return p["t"]
+	}, 500)
+	below100 := 0
+	for _, tr := range trials {
+		v := tr.Params["t"]
+		if v < 1 || v > 10000 {
+			t.Fatalf("log sample out of range: %v", v)
+		}
+		if v < 100 {
+			below100++
+		}
+	}
+	// Log-uniform: half the mass below sqrt(1*10000)=100.
+	if below100 < 200 || below100 > 300 {
+		t.Fatalf("log-uniform spread: %d/500 below 100", below100)
+	}
+}
+
+func TestGridSearchCoversGrid(t *testing.T) {
+	g := GridSearch{Params: []Param{{Name: "x", Min: 0, Max: 1}}, PointsPerDim: 5}
+	trials := g.Optimize(func(p map[string]float64) float64 { return p["x"] }, 0)
+	if len(trials) != 5 {
+		t.Fatalf("grid points = %d", len(trials))
+	}
+	if trials[0].Params["x"] != 0 || trials[4].Params["x"] != 1 {
+		t.Fatalf("grid endpoints: %v .. %v", trials[0].Params["x"], trials[4].Params["x"])
+	}
+	// Multi-dim cartesian product.
+	g2 := GridSearch{Params: bowlParams, PointsPerDim: 3}
+	if got := len(g2.Optimize(bowl, 0)); got != 9 {
+		t.Fatalf("2d grid = %d", got)
+	}
+	// Iteration cap honored.
+	if got := len(g2.Optimize(bowl, 4)); got != 4 {
+		t.Fatalf("capped grid = %d", got)
+	}
+}
+
+func TestBestAndScores(t *testing.T) {
+	trials := []Trial{{Score: 5}, {Score: 1}, {Score: 3}}
+	if Best(trials).Score != 1 {
+		t.Fatal("best")
+	}
+	s := Scores(trials)
+	if len(s) != 3 || s[1] != 1 {
+		t.Fatalf("scores = %v", s)
+	}
+	if Best(nil).Score != 0 {
+		t.Fatal("empty best")
+	}
+}
+
+func TestLogSpaceCFO(t *testing.T) {
+	// Objective minimized at t=100 in log space.
+	obj := func(p map[string]float64) float64 {
+		d := math.Log10(p["t"]) - 2
+		return d * d
+	}
+	params := []Param{{Name: "t", Min: 1, Max: 100000, Log: true}}
+	best := Best(CFO{Params: params, Seed: 4}.Optimize(obj, 80))
+	if best.Score > 0.5 {
+		t.Fatalf("log-space CFO best = %v (t=%v)", best.Score, best.Params["t"])
+	}
+}

@@ -1,0 +1,443 @@
+// Package workload reimplements the paper's workload tooling (§6): the
+// CAB-gen cloud-analytics benchmark generator (TPC-H schemas, query
+// streams modeled after real cloud usage patterns), the dbgen-style data
+// loader shapes, and the LST-Bench phased workloads (TPC-DS WP1/WP3,
+// TPC-H) used by the auto-tuning experiments (§6.3).
+//
+// The generator is fully deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"autocomp/internal/engine"
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// TableDef describes one table of a database schema.
+type TableDef struct {
+	Name   string
+	Schema lst.Schema
+	Spec   lst.PartitionSpec
+	Mode   lst.WriteMode
+	// ShareOfData is the table's fraction of the database's raw bytes.
+	ShareOfData float64
+}
+
+// TPCHTables returns the TPC-H-like schema the CAB databases use. As in
+// the paper's setup, lineitem is partitioned by shipdate at monthly
+// granularity and orders is not partitioned (§6), giving a workload with
+// mixed update patterns across partitioned and non-partitioned tables.
+func TPCHTables() []TableDef {
+	return []TableDef{
+		{
+			Name: "lineitem",
+			Schema: lst.Schema{Fields: []lst.Field{
+				{Name: "l_orderkey", Type: lst.TypeInt64},
+				{Name: "l_partkey", Type: lst.TypeInt64},
+				{Name: "l_suppkey", Type: lst.TypeInt64},
+				{Name: "l_quantity", Type: lst.TypeDecimal},
+				{Name: "l_extendedprice", Type: lst.TypeDecimal},
+				{Name: "l_discount", Type: lst.TypeDecimal},
+				{Name: "l_shipdate", Type: lst.TypeDate},
+				{Name: "l_comment", Type: lst.TypeString},
+			}},
+			Spec:        lst.PartitionSpec{Column: "l_shipdate", Transform: lst.TransformMonth},
+			ShareOfData: 0.70,
+		},
+		{
+			Name: "orders",
+			Schema: lst.Schema{Fields: []lst.Field{
+				{Name: "o_orderkey", Type: lst.TypeInt64},
+				{Name: "o_custkey", Type: lst.TypeInt64},
+				{Name: "o_totalprice", Type: lst.TypeDecimal},
+				{Name: "o_orderdate", Type: lst.TypeDate},
+				{Name: "o_comment", Type: lst.TypeString},
+			}},
+			ShareOfData: 0.17,
+		},
+		{
+			Name: "customer",
+			Schema: lst.Schema{Fields: []lst.Field{
+				{Name: "c_custkey", Type: lst.TypeInt64},
+				{Name: "c_name", Type: lst.TypeString},
+				{Name: "c_acctbal", Type: lst.TypeDecimal},
+			}},
+			ShareOfData: 0.05,
+		},
+		{
+			Name: "part",
+			Schema: lst.Schema{Fields: []lst.Field{
+				{Name: "p_partkey", Type: lst.TypeInt64},
+				{Name: "p_name", Type: lst.TypeString},
+				{Name: "p_retailprice", Type: lst.TypeDecimal},
+			}},
+			ShareOfData: 0.04,
+		},
+		{
+			Name: "partsupp",
+			Schema: lst.Schema{Fields: []lst.Field{
+				{Name: "ps_partkey", Type: lst.TypeInt64},
+				{Name: "ps_suppkey", Type: lst.TypeInt64},
+				{Name: "ps_supplycost", Type: lst.TypeDecimal},
+			}},
+			ShareOfData: 0.03,
+		},
+		{
+			Name: "supplier",
+			Schema: lst.Schema{Fields: []lst.Field{
+				{Name: "s_suppkey", Type: lst.TypeInt64},
+				{Name: "s_name", Type: lst.TypeString},
+			}},
+			ShareOfData: 0.01,
+		},
+	}
+}
+
+// MonthPartitions returns n monthly partition labels ending at 1998-12
+// (TPC-H's date range), oldest first.
+func MonthPartitions(n int) []string {
+	out := make([]string, 0, n)
+	year, month := 1998, 12
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%04d-%02d", year, month))
+		month--
+		if month == 0 {
+			month = 12
+			year--
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pattern is a CAB query-stream usage pattern (§6: constant demand with
+// sinusoidal variations, short bursts, large bursts, and predictable
+// scheduled workloads).
+type Pattern int
+
+// Stream patterns.
+const (
+	// Sinusoid models dashboards: constant demand with sinusoidal
+	// variation.
+	Sinusoid Pattern = iota
+	// ShortBurst models interactive query sessions.
+	ShortBurst
+	// LargeBurst models daily maintenance jobs (write-heavy).
+	LargeBurst
+	// Periodic models hourly scheduled jobs.
+	Periodic
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Sinusoid:
+		return "sinusoid"
+	case ShortBurst:
+		return "short-burst"
+	case LargeBurst:
+		return "large-burst"
+	case Periodic:
+		return "periodic"
+	default:
+		return "unknown"
+	}
+}
+
+// QueryTemplate is a parameterized query shape.
+type QueryTemplate struct {
+	Name  string
+	Kind  engine.Kind
+	Table string
+	// ScanFraction for reads.
+	ScanFraction float64
+	// RecentPartitions restricts reads/writes to the most recent N
+	// partitions of a partitioned table (0 = all).
+	RecentPartitions int
+	// WriteBytes for inserts.
+	WriteBytes int64
+	// ModifyFraction for updates/deletes.
+	ModifyFraction float64
+	// Parallelism of the writer (0 = engine default — the untuned case).
+	Parallelism int
+}
+
+// Stream is one query stream of a database.
+type Stream struct {
+	ID       string
+	Database string
+	Pattern  Pattern
+	// QueriesPerHour is the stream's average arrival rate.
+	QueriesPerHour float64
+	// Templates are drawn uniformly per event.
+	Templates []QueryTemplate
+}
+
+// Event is one query arrival.
+type Event struct {
+	At       time.Duration
+	Database string
+	Stream   string
+	Template QueryTemplate
+}
+
+// DatabasePlan is the generated plan for one database.
+type DatabasePlan struct {
+	Name     string
+	Tables   []TableDef
+	RawBytes int64
+	// LoadParallelism is the (mis)configured writer parallelism of the
+	// initial load, the source of the baseline's high initial file
+	// count (§6.1).
+	LoadParallelism int
+	// Months is the number of lineitem partitions loaded.
+	Months  int
+	Streams []Stream
+}
+
+// Plan is a full CAB workload plan.
+type Plan struct {
+	Databases []DatabasePlan
+	Duration  time.Duration
+}
+
+// CABConfig mirrors the CAB-gen parameters the paper sets (§6): raw data
+// size, number of databases, total CPU time, and experiment duration.
+// The paper's run: 500 GB, 20 databases, 1 CPU-hour, 5 hours.
+type CABConfig struct {
+	RawDataBytes int64
+	Databases    int
+	CPUHours     float64
+	Duration     time.Duration
+	// Months of lineitem history to load per database.
+	Months int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultCABConfig returns the paper's §6 parameters.
+func DefaultCABConfig() CABConfig {
+	return CABConfig{
+		RawDataBytes: 500 * storage.GB,
+		Databases:    20,
+		CPUHours:     1,
+		Duration:     5 * time.Hour,
+		// lineitem carries TPC-H's multi-year shipdate range at monthly
+		// granularity, so partition-scope work units are much finer
+		// than table-scope ones (§6).
+		Months: 36,
+		Seed:   1,
+	}
+}
+
+// Generator produces CAB plans and event streams.
+type Generator struct {
+	cfg CABConfig
+	rng *sim.RNG
+}
+
+// NewCAB returns a generator for cfg.
+func NewCAB(cfg CABConfig) *Generator {
+	if cfg.Databases <= 0 {
+		cfg.Databases = 1
+	}
+	if cfg.Months <= 0 {
+		cfg.Months = 12
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Hour
+	}
+	return &Generator{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+}
+
+// Plan generates the database plans: schemas, data sizes (skewed across
+// databases), untuned load parallelism, and the four stream patterns per
+// database.
+func (g *Generator) Plan() *Plan {
+	cfg := g.cfg
+	plan := &Plan{Duration: cfg.Duration}
+
+	// Database sizes are skewed (a few large tenants dominate), matching
+	// cloud-warehouse usage; weights are deterministic from the seed.
+	weights := make([]float64, cfg.Databases)
+	var wsum float64
+	for i := range weights {
+		weights[i] = g.rng.Pareto(1, 1.2)
+		if weights[i] > 50 {
+			weights[i] = 50
+		}
+		wsum += weights[i]
+	}
+
+	// Scale stream rates so total issued work tracks the CPUHours knob.
+	cpuScale := cfg.CPUHours
+	if cpuScale <= 0 {
+		cpuScale = 1
+	}
+	perDBQPH := 40 * cpuScale
+
+	for i := 0; i < cfg.Databases; i++ {
+		name := fmt.Sprintf("cab%02d", i)
+		raw := int64(float64(cfg.RawDataBytes) * weights[i] / wsum)
+		dp := DatabasePlan{
+			Name:     name,
+			Tables:   TPCHTables(),
+			RawBytes: raw,
+			// End-user jobs are untuned: between 100 and 400 writer
+			// tasks regardless of data volume (§2).
+			LoadParallelism: g.rng.IntBetween(100, 400),
+			Months:          cfg.Months,
+		}
+		dp.Streams = g.streams(name, perDBQPH)
+		plan.Databases = append(plan.Databases, dp)
+	}
+	return plan
+}
+
+// streams builds the four pattern streams for one database.
+func (g *Generator) streams(db string, qph float64) []Stream {
+	dashboards := Stream{
+		ID: db + "/dash", Database: db, Pattern: Sinusoid,
+		QueriesPerHour: qph * 0.5,
+		Templates: []QueryTemplate{
+			{Name: "dash_lineitem", Kind: engine.Read, Table: "lineitem", ScanFraction: 0.10, RecentPartitions: 3},
+			{Name: "dash_orders", Kind: engine.Read, Table: "orders", ScanFraction: 0.20},
+			{Name: "dash_join", Kind: engine.Read, Table: "lineitem", ScanFraction: 0.05, RecentPartitions: 1},
+		},
+	}
+	interactive := Stream{
+		ID: db + "/interactive", Database: db, Pattern: ShortBurst,
+		QueriesPerHour: qph * 0.3,
+		Templates: []QueryTemplate{
+			{Name: "adhoc_scan", Kind: engine.Read, Table: "lineitem", ScanFraction: 0.02, RecentPartitions: 2},
+			{Name: "adhoc_cust", Kind: engine.Read, Table: "customer", ScanFraction: 0.5},
+			{Name: "adhoc_part", Kind: engine.Read, Table: "part", ScanFraction: 0.4},
+		},
+	}
+	maintenance := Stream{
+		ID: db + "/maintenance", Database: db, Pattern: LargeBurst,
+		QueriesPerHour: qph * 0.05,
+		Templates: []QueryTemplate{
+			// The paper extended CAB to update both orders and
+			// lineitem (§6, footnote 1).
+			{Name: "maint_update_lineitem", Kind: engine.Update, Table: "lineitem", ModifyFraction: 0.03, RecentPartitions: 2},
+			{Name: "maint_update_orders", Kind: engine.Update, Table: "orders", ModifyFraction: 0.03},
+			{Name: "maint_delete_lineitem", Kind: engine.Delete, Table: "lineitem", ModifyFraction: 0.01, RecentPartitions: 1},
+		},
+	}
+	hourly := Stream{
+		ID: db + "/hourly", Database: db, Pattern: Periodic,
+		QueriesPerHour: 1,
+		Templates: []QueryTemplate{
+			{Name: "hourly_ingest", Kind: engine.Insert, Table: "lineitem", WriteBytes: 64 * storage.MB, RecentPartitions: 1},
+			{Name: "hourly_orders", Kind: engine.Insert, Table: "orders", WriteBytes: 16 * storage.MB},
+		},
+	}
+	return []Stream{dashboards, interactive, maintenance, hourly}
+}
+
+// Events generates the arrival events of one database plan across the
+// experiment duration, sorted by time.
+func (g *Generator) Events(dp DatabasePlan) []Event {
+	var out []Event
+	for _, s := range dp.Streams {
+		out = append(out, g.streamEvents(s)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// streamEvents realizes one stream's arrival process.
+func (g *Generator) streamEvents(s Stream) []Event {
+	dur := g.cfg.Duration
+	var out []Event
+	emit := func(at time.Duration, tpl QueryTemplate) {
+		if at >= 0 && at < dur {
+			out = append(out, Event{At: at, Database: s.Database, Stream: s.ID, Template: tpl})
+		}
+	}
+	pick := func() QueryTemplate {
+		return s.Templates[g.rng.Intn(len(s.Templates))]
+	}
+
+	switch s.Pattern {
+	case Sinusoid:
+		// Nonhomogeneous Poisson by thinning: rate(t) = base×(1 + 0.6·sin).
+		base := s.QueriesPerHour
+		maxRate := base * 1.6
+		t := time.Duration(0)
+		for {
+			t += time.Duration(g.rng.Exp(maxRate) * float64(time.Hour))
+			if t >= dur {
+				break
+			}
+			phase := 2 * math.Pi * t.Hours() / 2.0 // 2-hour period
+			rate := base * (1 + 0.6*math.Sin(phase))
+			if g.rng.Float64() < rate/maxRate {
+				emit(t, pick())
+			}
+		}
+	case ShortBurst:
+		// Bursts of 4-10 queries within ~5 minutes, burst arrivals
+		// Poisson.
+		expected := s.QueriesPerHour * dur.Hours()
+		bursts := int(expected / 6)
+		if bursts < 1 {
+			bursts = 1
+		}
+		for b := 0; b < bursts; b++ {
+			start := time.Duration(g.rng.Float64() * float64(dur))
+			n := g.rng.IntBetween(4, 10)
+			for i := 0; i < n; i++ {
+				emit(start+time.Duration(g.rng.Float64()*float64(5*time.Minute)), pick())
+			}
+		}
+	case LargeBurst:
+		// One maintenance window per run at a random hour, issuing a
+		// burst of write operations; plus a write spike late in the run
+		// (the paper observes one around hour 4, §6.1).
+		windows := []time.Duration{
+			time.Duration(g.rng.Float64() * float64(dur) * 0.5),
+		}
+		if dur >= 4*time.Hour {
+			windows = append(windows, 4*time.Hour-30*time.Minute+
+				time.Duration(g.rng.Float64()*float64(time.Hour)))
+		}
+		per := s.QueriesPerHour * dur.Hours() / float64(len(windows))
+		if per < 1 {
+			per = 1
+		}
+		for _, w := range windows {
+			n := int(per)
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				tpl := pick()
+				at := w + time.Duration(g.rng.Float64()*float64(20*time.Minute))
+				emit(at, tpl)
+				// Orchestrators occasionally double-launch the same
+				// maintenance job; the twin runs commit concurrently
+				// and one retries on a versioning conflict — the
+				// client-side conflicts of Table 1.
+				if g.rng.Bernoulli(0.15) {
+					emit(at, tpl)
+				}
+			}
+		}
+	case Periodic:
+		// Fixed-offset hourly jobs.
+		offset := time.Duration(g.rng.Float64() * float64(time.Hour))
+		for t := offset; t < dur; t += time.Hour {
+			for _, tpl := range s.Templates {
+				emit(t, tpl)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"autocomp/internal/engine"
+	"autocomp/internal/storage"
+)
+
+func TestTPCHTablesShape(t *testing.T) {
+	tables := TPCHTables()
+	if len(tables) != 6 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	var lineitem, orders *TableDef
+	var share float64
+	for i := range tables {
+		share += tables[i].ShareOfData
+		switch tables[i].Name {
+		case "lineitem":
+			lineitem = &tables[i]
+		case "orders":
+			orders = &tables[i]
+		}
+	}
+	if lineitem == nil || orders == nil {
+		t.Fatal("missing lineitem/orders")
+	}
+	if !lineitem.Spec.IsPartitioned() {
+		t.Fatal("lineitem must be partitioned (monthly by shipdate)")
+	}
+	if orders.Spec.IsPartitioned() {
+		t.Fatal("orders must be unpartitioned")
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("shares sum to %v", share)
+	}
+}
+
+func TestMonthPartitions(t *testing.T) {
+	parts := MonthPartitions(14)
+	if len(parts) != 14 {
+		t.Fatalf("months = %d", len(parts))
+	}
+	if parts[len(parts)-1] != "1998-12" {
+		t.Fatalf("latest = %s", parts[len(parts)-1])
+	}
+	if parts[0] != "1997-11" {
+		t.Fatalf("oldest = %s", parts[0])
+	}
+	for i := 1; i < len(parts); i++ {
+		if parts[i-1] >= parts[i] {
+			t.Fatalf("not sorted: %v", parts)
+		}
+	}
+}
+
+func TestCABPlanShape(t *testing.T) {
+	g := NewCAB(DefaultCABConfig())
+	plan := g.Plan()
+	if len(plan.Databases) != 20 {
+		t.Fatalf("databases = %d", len(plan.Databases))
+	}
+	var total int64
+	for _, db := range plan.Databases {
+		total += db.RawBytes
+		if len(db.Streams) != 4 {
+			t.Fatalf("streams = %d", len(db.Streams))
+		}
+		if db.LoadParallelism < 100 || db.LoadParallelism > 400 {
+			t.Fatalf("load parallelism = %d", db.LoadParallelism)
+		}
+		patterns := map[Pattern]bool{}
+		for _, s := range db.Streams {
+			patterns[s.Pattern] = true
+		}
+		for _, p := range []Pattern{Sinusoid, ShortBurst, LargeBurst, Periodic} {
+			if !patterns[p] {
+				t.Fatalf("missing pattern %v in %s", p, db.Name)
+			}
+		}
+	}
+	// Sizes sum to ~the configured raw bytes (rounding loss allowed).
+	want := DefaultCABConfig().RawDataBytes
+	if total < want*95/100 || total > want {
+		t.Fatalf("total raw = %d, want ~%d", total, want)
+	}
+}
+
+func TestCABPlanDeterministic(t *testing.T) {
+	a := NewCAB(DefaultCABConfig()).Plan()
+	b := NewCAB(DefaultCABConfig()).Plan()
+	for i := range a.Databases {
+		if a.Databases[i].RawBytes != b.Databases[i].RawBytes ||
+			a.Databases[i].LoadParallelism != b.Databases[i].LoadParallelism {
+			t.Fatalf("plans differ at db %d", i)
+		}
+	}
+}
+
+func TestCABEventsSortedAndBounded(t *testing.T) {
+	cfg := DefaultCABConfig()
+	cfg.Databases = 3
+	g := NewCAB(cfg)
+	plan := g.Plan()
+	for _, db := range plan.Databases {
+		events := g.Events(db)
+		if len(events) == 0 {
+			t.Fatalf("no events for %s", db.Name)
+		}
+		for i, e := range events {
+			if e.At < 0 || e.At >= cfg.Duration {
+				t.Fatalf("event outside run: %v", e.At)
+			}
+			if i > 0 && events[i-1].At > e.At {
+				t.Fatal("events not sorted")
+			}
+			if e.Database != db.Name {
+				t.Fatal("event database mismatch")
+			}
+		}
+	}
+}
+
+func TestCABEventsMixReadsAndWrites(t *testing.T) {
+	cfg := DefaultCABConfig()
+	cfg.Databases = 5
+	g := NewCAB(cfg)
+	plan := g.Plan()
+	reads, writes := 0, 0
+	for _, db := range plan.Databases {
+		for _, e := range g.Events(db) {
+			if e.Template.Kind.IsWrite() {
+				writes++
+			} else {
+				reads++
+			}
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+	if reads < writes {
+		t.Fatalf("expected read-dominant mix: reads=%d writes=%d", reads, writes)
+	}
+}
+
+func TestPeriodicStreamHourly(t *testing.T) {
+	cfg := DefaultCABConfig()
+	cfg.Databases = 1
+	g := NewCAB(cfg)
+	plan := g.Plan()
+	events := g.Events(plan.Databases[0])
+	inserts := 0
+	for _, e := range events {
+		if e.Template.Name == "hourly_ingest" {
+			inserts++
+		}
+	}
+	// 5-hour run → 5 hourly firings (offset < 1h).
+	if inserts != 5 {
+		t.Fatalf("hourly inserts = %d", inserts)
+	}
+}
+
+func TestLargeBurstIncludesHourFourSpike(t *testing.T) {
+	cfg := DefaultCABConfig()
+	cfg.Databases = 4
+	g := NewCAB(cfg)
+	plan := g.Plan()
+	spike := 0
+	for _, db := range plan.Databases {
+		for _, e := range g.Events(db) {
+			if e.Template.Kind.IsWrite() && e.At >= 3*time.Hour+30*time.Minute && e.At < 5*time.Hour {
+				spike++
+			}
+		}
+	}
+	if spike == 0 {
+		t.Fatal("no write activity near hour 4 (the paper's spike)")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	want := map[Pattern]string{
+		Sinusoid: "sinusoid", ShortBurst: "short-burst",
+		LargeBurst: "large-burst", Periodic: "periodic", Pattern(99): "unknown",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d = %q", p, p.String())
+		}
+	}
+}
+
+func TestPhasedWorkloads(t *testing.T) {
+	wp1 := TPCDSWP1(100 * storage.GB)
+	if wp1.SeparateWriteCluster {
+		t.Fatal("WP1 must be single-cluster")
+	}
+	if len(wp1.Phases) < 5 {
+		t.Fatalf("WP1 phases = %d", len(wp1.Phases))
+	}
+	wp3 := TPCDSWP3(100 * storage.GB)
+	if !wp3.SeparateWriteCluster {
+		t.Fatal("WP3 must use a separate write cluster")
+	}
+	tpch := TPCH(100 * storage.GB)
+	// TPC-H's modification phases target unpartitioned orders.
+	foundOrdersWrite := false
+	for _, p := range tpch.Phases {
+		for _, q := range p.Queries {
+			if q.Table == "orders" && q.Kind.IsWrite() {
+				foundOrdersWrite = true
+			}
+		}
+	}
+	if !foundOrdersWrite {
+		t.Fatal("TPC-H must write unpartitioned orders")
+	}
+	if wp1.TotalQueries() == 0 || tpch.TotalQueries() == 0 {
+		t.Fatal("total queries = 0")
+	}
+}
+
+func TestMaintenanceInsertVolumeScaled(t *testing.T) {
+	w := TPCDSWP1(100 * storage.GB)
+	found := false
+	for _, p := range w.Phases {
+		for _, q := range p.Queries {
+			if q.Kind == engine.Insert && q.WriteBytes > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("maintenance inserts have no volume")
+	}
+}
+
+func TestSizeOfShare(t *testing.T) {
+	if got := SizeOfShare(100*storage.GB, 0.5); got != 50*storage.GB {
+		t.Fatalf("share = %d", got)
+	}
+	if got := SizeOfShare(10, 0.001); got != storage.MB {
+		t.Fatalf("floor = %d", got)
+	}
+}
