@@ -38,6 +38,9 @@ var renderOnce sync.Map // experiment id → *sync.Once
 // prints its rendered result once.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment drivers take seconds; skipped in -short")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(id, benchSeed, true)
 		if err != nil {

@@ -1,7 +1,10 @@
 // Command autocompd runs AutoComp as a standalone periodic service (§5's
 // pull deployment) over a simulated lake: a fleet of tables accretes
-// small files while the service wakes on its schedule, decides, and
-// compacts within its budget, printing one line per cycle.
+// small files (and per-commit metadata) while the service wakes on its
+// schedule, decides, and maintains within its budget, printing one line
+// per cycle with a per-action breakdown. In unified mode (the default)
+// snapshot expiry, metadata checkpointing, and manifest rewriting rank
+// against data compaction in one MOOP under the same budget selector.
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
+	"autocomp/internal/maintenance"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
@@ -21,7 +25,10 @@ func main() {
 	days := flag.Int("days", 14, "days to simulate (one cycle per day)")
 	k := flag.Int("k", 0, "fixed top-k selection (0 = use budget)")
 	budgetTBHr := flag.Float64("budget-tbhr", 50, "per-cycle compute budget (TBHr)")
-	quotaAdaptive := flag.Bool("quota-adaptive", true, "use quota-adaptive MOOP weights")
+	quotaAdaptive := flag.Bool("quota-adaptive", true, "use quota-adaptive MOOP weights (data-only mode)")
+	unified := flag.Bool("unified", true, "rank metadata maintenance (expiry/checkpoint/manifest rewrite) in the same budget as data compaction")
+	checkpointEvery := flag.Int64("checkpoint-every", 100, "commits between metadata checkpoints (unified mode)")
+	retainSnapshots := flag.Int("retain-snapshots", 20, "snapshots kept by expiry (unified mode)")
 	flag.Parse()
 
 	clock := sim.NewClock()
@@ -35,11 +42,21 @@ func main() {
 	if *k > 0 {
 		selector = core.TopK{K: *k}
 	}
-	svc, err := f.Service(selector, model)
+	var svc *core.Service
+	var err error
+	if *unified {
+		svc, err = f.MaintenanceService(selector, model, maintenance.Policy{
+			RetainSnapshots:         *retainSnapshots,
+			CheckpointEveryVersions: *checkpointEvery,
+			MinManifestSurplus:      8,
+		})
+	} else {
+		svc, err = f.Service(selector, model)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !*quotaAdaptive {
+	if !*unified && !*quotaAdaptive {
 		// Rebuild with static weights via the generic facade config.
 		cost := core.ComputeCost{
 			ExecutorMemoryGB:    model.ExecutorMemoryGB,
@@ -64,17 +81,20 @@ func main() {
 		}
 	}
 
-	fmt.Printf("autocompd: %d tables, %d files, %.0f%% under 128MB\n",
-		f.TableCount(), f.TotalFiles(), 100*f.TinyFileFraction())
+	fmt.Printf("autocompd: %d tables, %d files, %d metadata objects, %.0f%% under 128MB\n",
+		f.TableCount(), f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
 	for d := 1; d <= *days; d++ {
 		f.AdvanceDay()
 		rep, err := svc.RunOnce()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("day %3d: candidates=%4d selected=%4d reduced=%8d files  cost=%7.1f TBHr  fleet=%9d files (%4.0f%% tiny)\n",
+		counts := rep.ActionCounts()
+		fmt.Printf("day %3d: candidates=%4d selected=%4d reduced=%8d files  cost=%7.1f TBHr  actions[data=%d expire=%d ckpt=%d manifest=%d]  fleet=%9d files %8d meta (%4.0f%% tiny)\n",
 			d, rep.Decision.Generated, len(rep.Decision.Selected),
 			rep.FilesReduced, rep.ActualGBHr/1024,
-			f.TotalFiles(), 100*f.TinyFileFraction())
+			counts[core.ActionDataCompaction], counts[core.ActionSnapshotExpiry],
+			counts[core.ActionMetadataCheckpoint], counts[core.ActionManifestRewrite],
+			f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
 	}
 }

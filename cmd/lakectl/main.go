@@ -1,7 +1,10 @@
 // Command lakectl inspects a simulated lake the way an operator would:
-// it builds a CAB-style lake, then prints table listings, file-size
-// histograms, namespace quota utilization, and the compaction candidates
-// AutoComp would pick right now (a dry run of the decide phase).
+// it builds a CAB-style lake, then serves subcommands:
+//
+//	lakectl [flags] overview   table listings, file-size histograms,
+//	                           quotas, and a decide-phase dry run (default)
+//	lakectl [flags] metadata   per-table metadata-object counts/bytes and
+//	                           checkpoint status (the maintenance view)
 package main
 
 import (
@@ -11,9 +14,11 @@ import (
 	"time"
 
 	"autocomp/internal/bench"
+	"autocomp/internal/catalog"
 	"autocomp/internal/core"
 	"autocomp/internal/engine"
 	"autocomp/internal/lst"
+	"autocomp/internal/maintenance"
 	"autocomp/internal/metrics"
 	"autocomp/internal/storage"
 	"autocomp/internal/workload"
@@ -24,14 +29,31 @@ func main() {
 	databases := flag.Int("databases", 4, "databases to create")
 	top := flag.Int("top", 15, "rows to show per listing")
 	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "overview"
+	}
 
-	env := bench.NewEnv(bench.EnvConfig{Seed: *seed})
+	env := buildLake(*seed, *databases)
+	switch cmd {
+	case "overview":
+		overview(env, *top)
+	case "metadata":
+		metadataView(env, *top)
+	default:
+		log.Fatalf("lakectl: unknown command %q (have: overview, metadata)", cmd)
+	}
+}
+
+// buildLake loads a CAB-style lake into a fresh environment.
+func buildLake(seed int64, databases int) *bench.Env {
+	env := bench.NewEnv(bench.EnvConfig{Seed: seed})
 	gen := workload.NewCAB(workload.CABConfig{
 		RawDataBytes: 20 * storage.GB,
-		Databases:    *databases,
+		Databases:    databases,
 		Duration:     time.Hour,
 		Months:       12,
-		Seed:         *seed,
+		Seed:         seed,
 	})
 	plan := gen.Plan()
 	months := workload.MonthPartitions(12)
@@ -59,13 +81,38 @@ func main() {
 			}
 		}
 	}
+	// Post-load activity: two weeks of small daily appends per table —
+	// the paper's cause (i), and with it the per-commit metadata of
+	// cause (iv).
+	for d := 0; d < 14; d++ {
+		for _, tbl := range env.CP.AllTables() {
+			part := ""
+			if tbl.Spec().IsPartitioned() {
+				part = months[len(months)-1]
+			}
+			specs := []lst.FileSpec{
+				{Partition: part, SizeBytes: 8 * storage.MB, RowCount: 10_000},
+				{Partition: part, SizeBytes: 12 * storage.MB, RowCount: 15_000},
+				{Partition: part, SizeBytes: 6 * storage.MB, RowCount: 8_000},
+			}
+			if _, err := tbl.AppendFiles(specs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		env.Clock.Advance(24 * time.Hour)
+	}
 	env.Clock.Advance(48 * time.Hour)
+	return env
+}
 
+// overview prints the operator's lake summary plus a decide-phase dry
+// run.
+func overview(env *bench.Env, top int) {
 	// Table listing.
 	fmt.Println("== tables ==")
 	var rows [][]string
 	for i, tbl := range env.CP.AllTables() {
-		if i >= *top {
+		if i >= top {
 			break
 		}
 		rows = append(rows, []string{
@@ -119,7 +166,7 @@ func main() {
 			{Trait: core.FileCountReduction{}, Weight: 0.7},
 			{Trait: cost, Weight: 0.3},
 		}},
-		Selector: core.TopK{K: *top},
+		Selector: core.TopK{K: top},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -128,5 +175,80 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(d.Explain(*top))
+	fmt.Println(d.Explain(top))
+}
+
+// metadataView prints the maintenance subsystem's view of the lake:
+// per-table metadata-object counts/bytes and checkpoint status, then a
+// dry run of the unified maintenance pipeline under an aggressive demo
+// policy.
+func metadataView(env *bench.Env, top int) {
+	fmt.Println("== table metadata ==")
+	var rows [][]string
+	var totObjects int
+	var totBytes int64
+	tables := env.CP.AllTables()
+	for i, tbl := range tables {
+		ms := tbl.MetadataStats()
+		totObjects += ms.Objects
+		totBytes += ms.Bytes
+		if i >= top {
+			continue
+		}
+		ckpt := "never"
+		if ms.LastCheckpointVersion >= 0 {
+			ckpt = fmt.Sprintf("v%d", ms.LastCheckpointVersion)
+		}
+		rows = append(rows, []string{
+			tbl.FullName(),
+			fmt.Sprintf("%d", ms.Objects),
+			metrics.FormatBytes(ms.Bytes),
+			fmt.Sprintf("%d", ms.MetadataJSONs),
+			fmt.Sprintf("%d", ms.Manifests),
+			fmt.Sprintf("%d", ms.Snapshots),
+			ckpt,
+			fmt.Sprintf("%d", ms.VersionsSinceCheckpoint),
+		})
+	}
+	fmt.Println(metrics.RenderTable(
+		[]string{"Table", "Objs", "Bytes", "meta.json", "Manifests", "Snaps", "Ckpt", "Since"}, rows))
+	lakeObjects := env.FS.ObjectCount()
+	fmt.Printf("lake: %d metadata objects (%s) of %d storage objects (%.1f%% of the namespace)\n\n",
+		totObjects, metrics.FormatBytes(totBytes), lakeObjects,
+		100*float64(totObjects)/float64(lakeObjects))
+
+	// Install an aggressive demo policy so the dry run has work to rank,
+	// then decide without acting.
+	for _, db := range env.CP.Databases() {
+		dbTables, err := env.CP.Tables(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tbl := range dbTables {
+			pol := catalog.TablePolicies{RetainSnapshots: 10, CheckpointEveryVersions: 10}
+			if err := env.CP.SetPolicies(db, tbl.Name(), pol); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("== unified maintenance dry run (demo policy: retain 10, checkpoint every 10) ==")
+	svc, err := maintenance.NewCatalogService(env.CP, maintenance.Options{
+		TargetFileSize:      env.TargetFileSize,
+		ExecutorMemoryGB:    env.ExecutorMemoryGB(),
+		RewriteBytesPerHour: env.RewriteBytesPerHour(),
+		Selector:            core.TopK{K: top},
+		DefaultPolicy: maintenance.Policy{
+			RetainSnapshots:         10,
+			CheckpointEveryVersions: 10,
+			MinManifestSurplus:      4,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := svc.Decide()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Explain(top))
 }

@@ -1,0 +1,3 @@
+module autocomp
+
+go 1.24

@@ -40,6 +40,9 @@ func TestEnvDefaults(t *testing.T) {
 }
 
 func TestRunCABNoCompactionGrowsFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	res, err := RunCAB(CABRunConfig{
 		Workload: smallCAB(),
 		Strategy: Strategy{Kind: NoCompaction},
@@ -64,6 +67,9 @@ func TestRunCABNoCompactionGrowsFiles(t *testing.T) {
 }
 
 func TestRunCABTableStrategyReducesFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	base, err := RunCAB(CABRunConfig{
 		Workload: smallCAB(),
 		Strategy: Strategy{Kind: NoCompaction},
@@ -97,6 +103,9 @@ func TestRunCABTableStrategyReducesFiles(t *testing.T) {
 }
 
 func TestRunCABHybridGentlerThanTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	table, err := RunCAB(CABRunConfig{
 		Workload: smallCAB(),
 		Strategy: Strategy{Kind: MOOPTable, TopK: 10},
@@ -122,6 +131,9 @@ func TestRunCABHybridGentlerThanTable(t *testing.T) {
 }
 
 func TestRunCABDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	run := func() *CABResult {
 		res, err := RunCAB(CABRunConfig{
 			Workload: smallCAB(),
@@ -157,6 +169,9 @@ func TestStrategyLabels(t *testing.T) {
 }
 
 func TestRunPhasedWP1MaintenanceDegradesReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	res, err := RunPhased(PhasedRunConfig{
 		Workload: workload.TPCDSWP1(20 * storage.GB),
 		Seed:     1,
@@ -187,6 +202,9 @@ func TestRunPhasedWP1MaintenanceDegradesReads(t *testing.T) {
 }
 
 func TestRunPhasedHookRestoresPerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	noComp, err := RunPhased(PhasedRunConfig{
 		Workload: workload.TPCDSWP1(20 * storage.GB),
 		Seed:     1,
@@ -211,6 +229,9 @@ func TestRunPhasedHookRestoresPerformance(t *testing.T) {
 }
 
 func TestRunPhasedWP3OverlapsWriteLane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	wp1, err := RunPhased(PhasedRunConfig{
 		Workload: workload.TPCDSWP1(20 * storage.GB),
 		Seed:     1,
@@ -235,6 +256,9 @@ func TestRunPhasedWP3OverlapsWriteLane(t *testing.T) {
 }
 
 func TestRunPhasedManualCompactionTracked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAB/phased runs take ~100ms-1s each; skipped in -short")
+	}
 	res, err := RunPhased(PhasedRunConfig{
 		Workload:           workload.TPCDSWP1(20 * storage.GB),
 		Seed:               1,

@@ -34,6 +34,10 @@ var (
 type TablePolicies struct {
 	// RetainSnapshots is how many snapshots retention keeps (min 1).
 	RetainSnapshots int
+	// CheckpointEveryVersions is how many commits may accumulate before
+	// a metadata checkpoint is due; 0 disables checkpoint scheduling for
+	// the table.
+	CheckpointEveryVersions int64
 	// Intermediate marks scratch tables that filters may exclude from
 	// compaction (§4.1's usage-aware filtering).
 	Intermediate bool
@@ -41,7 +45,7 @@ type TablePolicies struct {
 
 // DefaultPolicies returns the control plane's default table policies.
 func DefaultPolicies() TablePolicies {
-	return TablePolicies{RetainSnapshots: 20}
+	return TablePolicies{RetainSnapshots: 20, CheckpointEveryVersions: 100}
 }
 
 // Database is a tenant namespace holding tables under one storage quota.

@@ -52,6 +52,54 @@ type Connector interface {
 	Now() time.Duration
 }
 
+// ActionType classifies the maintenance action a candidate proposes. The
+// original pipeline only knew data compaction; the maintenance subsystem
+// generalizes it to a family of actions — snapshot expiry, metadata
+// checkpointing, manifest rewriting — that all compete for the same
+// compute budget in one ranking (the paper's cause (iv): per-commit
+// metadata files are themselves small files).
+type ActionType int
+
+// Maintenance action types. ActionDataCompaction is the zero value so
+// every pre-existing candidate path keeps its meaning unchanged.
+const (
+	// ActionDataCompaction rewrites small data files into target-sized
+	// ones (the original AutoComp action).
+	ActionDataCompaction ActionType = iota
+	// ActionSnapshotExpiry drops old snapshots and the metadata objects
+	// only they reference.
+	ActionSnapshotExpiry
+	// ActionMetadataCheckpoint collapses the metadata log (metadata.json
+	// versions + manifests) into a single checkpoint object.
+	ActionMetadataCheckpoint
+	// ActionManifestRewrite consolidates manifests at full entry density
+	// without touching the version history.
+	ActionManifestRewrite
+)
+
+func (a ActionType) String() string {
+	switch a {
+	case ActionDataCompaction:
+		return "data-compaction"
+	case ActionSnapshotExpiry:
+		return "snapshot-expiry"
+	case ActionMetadataCheckpoint:
+		return "metadata-checkpoint"
+	case ActionManifestRewrite:
+		return "manifest-rewrite"
+	default:
+		return "unknown"
+	}
+}
+
+// ActionTypes lists every action type in declaration order.
+func ActionTypes() []ActionType {
+	return []ActionType{
+		ActionDataCompaction, ActionSnapshotExpiry,
+		ActionMetadataCheckpoint, ActionManifestRewrite,
+	}
+}
+
 // Scope is the granularity of a compaction work unit (FR1).
 type Scope int
 
@@ -79,10 +127,14 @@ func (s Scope) String() string {
 	}
 }
 
-// Candidate is a collection of files to be compacted (§4.1), flowing
-// through the pipeline and accumulating stats, traits, and a score.
+// Candidate is one proposed maintenance work unit (§4.1) — a file set to
+// compact, or a table whose metadata needs maintenance — flowing through
+// the pipeline and accumulating stats, traits, and a score.
 type Candidate struct {
-	Table     Table
+	Table Table
+	// Action is the maintenance action proposed; the zero value is data
+	// compaction, so plain compaction pipelines never set it.
+	Action    ActionType
 	Scope     Scope
 	Partition string // set for ScopePartition
 	// FreshSince bounds ScopeSnapshot candidates: only files added at
@@ -97,14 +149,17 @@ type Candidate struct {
 // ID returns a stable identifier used for deterministic tie-breaking
 // (NFR2) and reporting.
 func (c *Candidate) ID() string {
+	id := c.Table.FullName()
 	switch c.Scope {
 	case ScopePartition:
-		return fmt.Sprintf("%s/%s", c.Table.FullName(), c.Partition)
+		id = fmt.Sprintf("%s/%s", id, c.Partition)
 	case ScopeSnapshot:
-		return fmt.Sprintf("%s@fresh", c.Table.FullName())
-	default:
-		return c.Table.FullName()
+		id = fmt.Sprintf("%s@fresh", id)
 	}
+	if c.Action != ActionDataCompaction {
+		id = fmt.Sprintf("%s#%s", id, c.Action)
+	}
+	return id
 }
 
 // Files returns the candidate's file set according to its scope.

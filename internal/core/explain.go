@@ -45,7 +45,7 @@ func (d *Decision) Explain(maxRows int) string {
 	}
 	sort.Strings(names)
 
-	headers := append([]string{"#", "Candidate", "Scope", "Score"}, names...)
+	headers := append([]string{"#", "Candidate", "Action", "Scope", "Score"}, names...)
 	headers = append(headers, "Selected")
 	var rows [][]string
 	for i, c := range d.Ranked {
@@ -55,6 +55,7 @@ func (d *Decision) Explain(maxRows int) string {
 		row := []string{
 			fmt.Sprintf("%d", i+1),
 			c.ID(),
+			c.Action.String(),
 			c.Scope.String(),
 			fmt.Sprintf("%.4f", c.Score),
 		}

@@ -23,6 +23,20 @@ type Stats struct {
 	// layout (feeds the §8 layout-optimization trait).
 	UnclusteredBytes int64
 
+	// Metadata-layer statistics (§2, cause iv), filled for maintenance
+	// candidates by a metadata-aware observer.
+	//
+	// MetadataObjects and MetadataBytes cover the table's metadata files
+	// (metadata.json versions, manifests, checkpoints); Snapshots is the
+	// retained history length.
+	MetadataObjects int
+	MetadataBytes   int64
+	Snapshots       int
+	// MetadataReducible estimates the net metadata-object reduction the
+	// candidate's action would achieve — the maintenance analogue of
+	// SmallFiles for ΔF.
+	MetadataReducible int
+
 	// Custom statistics (§4.1: access patterns, usage metrics, ...).
 	TableAge       time.Duration
 	SinceLastWrite time.Duration
@@ -221,6 +235,42 @@ func (MinTotalBytes) Name() string { return "min-total-bytes" }
 
 // Keep implements Filter.
 func (f MinTotalBytes) Keep(c *Candidate) bool { return c.Stats.TotalBytes >= f.Min }
+
+// ForAction scopes an inner filter to one action type: candidates of any
+// other action pass unexamined. It lets action-specific gates (e.g.
+// MinSmallFiles for data compaction) coexist in a unified maintenance
+// pipeline without starving the other action families.
+type ForAction struct {
+	Action ActionType
+	Inner  Filter
+}
+
+// Name implements Filter.
+func (f ForAction) Name() string { return f.Action.String() + ":" + f.Inner.Name() }
+
+// Keep implements Filter.
+func (f ForAction) Keep(c *Candidate) bool {
+	if c.Action != f.Action {
+		return true
+	}
+	return f.Inner.Keep(c)
+}
+
+// MinMetadataReduction is a post-observe filter for maintenance
+// candidates: actions that would reclaim fewer than Min metadata objects
+// are not worth a task. Data-compaction candidates pass unexamined.
+type MinMetadataReduction struct{ Min int }
+
+// Name implements Filter.
+func (MinMetadataReduction) Name() string { return "min-metadata-reduction" }
+
+// Keep implements Filter.
+func (f MinMetadataReduction) Keep(c *Candidate) bool {
+	if c.Action == ActionDataCompaction {
+		return true
+	}
+	return c.Stats.MetadataReducible >= f.Min
+}
 
 // MaxTraitValue is a post-orient filter: candidates whose named trait
 // exceeds Max are discarded — e.g. dropping work units whose compute cost

@@ -134,12 +134,28 @@ type Report struct {
 	Decision *Decision
 	Results  []CandidateResult
 
-	FilesReduced   int
-	BytesRewritten int64
-	ActualGBHr     float64
-	Conflicts      int
-	Skipped        int
-	Errors         int
+	FilesReduced int
+	// MetadataReduced is the net metadata-object reduction achieved by
+	// maintenance actions (checkpoints, expiries, manifest rewrites).
+	MetadataReduced int
+	BytesRewritten  int64
+	ActualGBHr      float64
+	Conflicts       int
+	Skipped         int
+	Errors          int
+}
+
+// ActionCounts tallies the executed (non-skipped, non-failed) results by
+// action type — the per-cycle action breakdown operators monitor.
+func (r *Report) ActionCounts() map[ActionType]int {
+	out := make(map[ActionType]int)
+	for _, cr := range r.Results {
+		if cr.Result.Skipped || cr.Result.Err != nil || cr.Result.Conflict {
+			continue
+		}
+		out[cr.Candidate.Action]++
+	}
+	return out
 }
 
 // Act executes a decision's plan with the configured Runner: rounds run
@@ -162,10 +178,14 @@ func (s *Service) Act(d *Decision) (*Report, error) {
 
 // add folds one result into the report.
 func (r *Report) add(c *Candidate, res compaction.Result) {
+	est := c.Trait(FileCountReduction{}.Name())
+	if c.Action != ActionDataCompaction {
+		est = c.Trait(MetadataReduction{}.Name())
+	}
 	r.Results = append(r.Results, CandidateResult{
 		Candidate:          c,
 		Result:             res,
-		EstimatedReduction: c.Trait(FileCountReduction{}.Name()),
+		EstimatedReduction: est,
 		EstimatedGBHr:      c.Trait(ComputeCost{}.Name()),
 	})
 	r.ActualGBHr += res.GBHr
@@ -176,6 +196,11 @@ func (r *Report) add(c *Candidate, res compaction.Result) {
 		r.Errors++
 	case res.Skipped:
 		r.Skipped++
+	case c.Action != ActionDataCompaction:
+		// Maintenance runners report metadata objects removed/added in
+		// the file fields; account them on the metadata axis.
+		r.MetadataReduced += res.Reduction()
+		r.BytesRewritten += res.BytesRewritten
 	default:
 		r.FilesReduced += res.Reduction()
 		r.BytesRewritten += res.BytesRewritten

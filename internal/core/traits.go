@@ -61,12 +61,15 @@ func (RelativeFileCountReduction) Value(c *Candidate) float64 {
 	return float64(c.Stats.SmallFiles) / float64(c.Stats.FileCount)
 }
 
-// ComputeCost estimates the compute resources to compact candidate c
+// ComputeCost estimates the compute resources to execute candidate c
 // (§4.2):
 //
 //	GBHr_c = ExecutorMemoryGB × DataSize_c / RewriteBytesPerHour
 //
-// DataSize_c is the bytes compaction must rewrite (the small files).
+// DataSize_c is the bytes the action must rewrite: the small files for
+// data compaction, the metadata log for metadata-maintenance actions —
+// which is why checkpoints and expiries are orders of magnitude cheaper
+// and slot easily into a shared budget.
 type ComputeCost struct {
 	// ExecutorMemoryGB is the memory allocated to executors for the
 	// compaction task.
@@ -86,7 +89,29 @@ func (t ComputeCost) Value(c *Candidate) float64 {
 	if t.RewriteBytesPerHour <= 0 {
 		return 0
 	}
-	return t.ExecutorMemoryGB * float64(c.Stats.SmallBytes) / t.RewriteBytesPerHour
+	bytes := c.Stats.SmallBytes
+	if c.Action != ActionDataCompaction {
+		bytes = c.Stats.MetadataBytes
+	}
+	return t.ExecutorMemoryGB * float64(bytes) / t.RewriteBytesPerHour
+}
+
+// MetadataReduction estimates ΔM_c, the net metadata-object reduction a
+// maintenance action would achieve — the metadata analogue of
+// FileCountReduction, ranking checkpoints, expiries, and manifest
+// rewrites on the same benefit axis the paper uses for ΔF (object count
+// is the scarce NameNode resource either way).
+type MetadataReduction struct{}
+
+// Name implements Trait.
+func (MetadataReduction) Name() string { return "metadata_reduction" }
+
+// Direction implements Trait.
+func (MetadataReduction) Direction() Direction { return Benefit }
+
+// Value implements Trait.
+func (MetadataReduction) Value(c *Candidate) float64 {
+	return float64(c.Stats.MetadataReducible)
 }
 
 // FileEntropy measures layout disorder relative to the target file size,

@@ -9,6 +9,9 @@ const testSeed = 1
 
 func runQuick(t *testing.T, id string) Result {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment drivers take seconds; skipped in -short")
+	}
 	res, err := Run(id, testSeed, true)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
@@ -25,7 +28,7 @@ func runQuick(t *testing.T, id string) Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"est", "fig1", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b",
-		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "table1",
+		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "maint", "table1",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -299,6 +302,42 @@ func TestFig9Shape(t *testing.T) {
 	ratio := wp1.BestSecs / wp1e.BestSecs
 	if ratio < 0.7 || ratio > 1.4 {
 		t.Fatalf("file-count vs entropy best: %.0f vs %.0f", wp1.BestSecs, wp1e.BestSecs)
+	}
+}
+
+func TestMaintShape(t *testing.T) {
+	res := runQuick(t, "maint").(MaintResult)
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Metadata checkpoints won budget in the shared selector — there is
+	// no side scheduler to credit.
+	if res.Checkpoints == 0 {
+		t.Fatal("no checkpoint actions selected under the shared budget")
+	}
+	if res.DataCompactions == 0 {
+		t.Fatal("unified pipeline stopped compacting data")
+	}
+	// The data-only regime's metadata log grows without bound; the
+	// unified regime holds a steady state.
+	if res.MetaGrowthDataOnly < 1.3 {
+		t.Fatalf("data-only metadata growth = %.2fx, want unbounded growth", res.MetaGrowthDataOnly)
+	}
+	if res.MetaGrowthUnified > 1.15 {
+		t.Fatalf("unified metadata growth = %.2fx, want steady state", res.MetaGrowthUnified)
+	}
+	if res.UnifiedFinalMeta >= res.DataOnlyFinalMeta/2 {
+		t.Fatalf("unified final metadata %d not well below data-only %d",
+			res.UnifiedFinalMeta, res.DataOnlyFinalMeta)
+	}
+	// Fewer metadata objects means fewer planning opens on the NameNode.
+	if res.UnifiedMetaOpens >= res.DataOnlyMetaOpens {
+		t.Fatalf("unified metadata opens %d >= data-only %d",
+			res.UnifiedMetaOpens, res.DataOnlyMetaOpens)
+	}
+	if res.UnifiedUtilization >= res.DataOnlyUtilization {
+		t.Fatalf("unified NameNode utilization %.4f >= data-only %.4f",
+			res.UnifiedUtilization, res.DataOnlyUtilization)
 	}
 }
 

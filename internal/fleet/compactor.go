@@ -6,6 +6,7 @@ import (
 
 	"autocomp/internal/compaction"
 	"autocomp/internal/core"
+	"autocomp/internal/maintenance"
 	"autocomp/internal/storage"
 )
 
@@ -231,5 +232,41 @@ func (f *Fleet) Service(selector core.Selector, model CompactionModel) (*core.Se
 		Selector:  selector,
 		Scheduler: core.SequentialScheduler{},
 		Runner:    Runner{Fleet: f, Model: model},
+	})
+}
+
+// MaintenanceService builds the unified maintenance pipeline over the
+// fleet: data compaction, snapshot expiry, metadata checkpointing, and
+// manifest rewriting as one candidate pool, ranked by a three-objective
+// MOOP (ΔF, ΔM, GBHr) and selected under the same budget — no separate
+// scheduler loop for metadata work.
+func (f *Fleet) MaintenanceService(selector core.Selector, model CompactionModel, pol maintenance.Policy) (*core.Service, error) {
+	cost := core.ComputeCost{
+		ExecutorMemoryGB:    model.ExecutorMemoryGB,
+		RewriteBytesPerHour: model.RewriteBytesPerHour,
+	}
+	pols := maintenance.StaticPolicies{Policy: pol}
+	return core.NewService(core.Config{
+		Connector: Connector{Fleet: f},
+		Generator: maintenance.Generator{Data: core.TableScopeGenerator{}, Policies: pols},
+		Observer:  maintenance.Observer{Base: Observer{Fleet: f}, Policies: pols, Now: f.clock.Now},
+		StatsFilters: []core.Filter{
+			core.ForAction{Action: core.ActionDataCompaction, Inner: core.MinSmallFiles{Min: 2}},
+			core.MinMetadataReduction{Min: 1},
+		},
+		Traits: []core.Trait{core.FileCountReduction{}, core.MetadataReduction{}, cost},
+		Ranker: core.MOOPRanker{Objectives: []core.Objective{
+			{Trait: core.FileCountReduction{}, Weight: 0.5},
+			{Trait: core.MetadataReduction{}, Weight: 0.2},
+			{Trait: cost, Weight: 0.3},
+		}},
+		Selector:  selector,
+		Scheduler: core.SequentialScheduler{},
+		Runner: maintenance.Runner{
+			Data:                Runner{Fleet: f, Model: model},
+			Policies:            pols,
+			ExecutorMemoryGB:    model.ExecutorMemoryGB,
+			RewriteBytesPerHour: model.RewriteBytesPerHour,
+		},
 	})
 }

@@ -52,6 +52,20 @@ type Table struct {
 	// table.
 	scanShare float64
 
+	// Metadata layer in aggregate (§2, cause iv): every commit writes a
+	// metadata.json version and a manifest, so the metadata log grows
+	// with commit count until a maintenance action trims it.
+	metaJSONs   int64
+	manifests   int64
+	checkpoints int64
+	metaBytes   int64
+	// snapshots is the retained snapshot-history length; commits counts
+	// total commits (the table version); versionsSinceCkpt counts
+	// commits since the last checkpoint.
+	snapshots         int64
+	commits           int64
+	versionsSinceCkpt int64
+
 	fleet *Fleet
 }
 
@@ -111,6 +125,155 @@ func (t *Table) SmallFiles() int64 { return t.counts[0] + t.counts[1] }
 // SmallBytes returns bytes in files below the target.
 func (t *Table) SmallBytes() int64 { return t.bytes[0] + t.bytes[1] }
 
+// Modeled average metadata object sizes: lst's writers at typical
+// snapshot and manifest-entry counts (exact sizes come from the shared
+// lst size model where state is known).
+const (
+	avgMetadataJSONBytes = 6 * storage.KB
+	avgManifestBytes     = 9 * storage.KB
+)
+
+// commitMetadata accretes the metadata of n commits: one metadata.json
+// version and one manifest each.
+func (t *Table) commitMetadata(n int64) {
+	t.metaJSONs += n
+	t.manifests += n
+	t.metaBytes += n * (avgMetadataJSONBytes + avgManifestBytes)
+	t.snapshots += n
+	t.commits += n
+	t.versionsSinceCkpt += n
+}
+
+// MetadataObjects returns the table's current metadata-object count.
+func (t *Table) MetadataObjects() int64 { return t.metaJSONs + t.manifests + t.checkpoints }
+
+func (t *Table) avgMetaObjectBytes() int64 {
+	objects := t.MetadataObjects()
+	if objects == 0 {
+		return 0
+	}
+	return t.metaBytes / objects
+}
+
+// MetadataStats implements maintenance.MetadataTable on the aggregate
+// model.
+func (t *Table) MetadataStats() lst.MetadataStats {
+	consolidated := lst.ConsolidatedManifestCount(t.FileCount(), lst.DefaultManifestEntriesPerFile)
+	last := int64(-1)
+	if t.checkpoints > 0 {
+		last = t.commits - t.versionsSinceCkpt
+	}
+	orphans := int(t.metaJSONs - 1)
+	if orphans < 0 {
+		orphans = 0
+	}
+	return lst.MetadataStats{
+		Objects:                 int(t.MetadataObjects()),
+		Bytes:                   t.metaBytes,
+		MetadataJSONs:           int(t.metaJSONs),
+		Manifests:               int(t.manifests),
+		Checkpoints:             int(t.checkpoints),
+		Snapshots:               int(t.snapshots),
+		LastCheckpointVersion:   last,
+		VersionsSinceCheckpoint: t.versionsSinceCkpt,
+		OrphanObjects:           orphans,
+		ConsolidatedManifests:   consolidated,
+	}
+}
+
+// ExpireEstimate implements maintenance.MetadataTable: history objects
+// are spread roughly uniformly over snapshots, so expiring a fraction of
+// the history reclaims that fraction of manifests and old metadata.jsons.
+func (t *Table) ExpireEstimate(keepLast int) int {
+	if keepLast < 1 {
+		keepLast = 1
+	}
+	dropped := t.snapshots - int64(keepLast)
+	if dropped <= 0 || t.snapshots == 0 {
+		return 0
+	}
+	frac := float64(dropped) / float64(t.snapshots)
+	return int(float64(t.manifests)*frac + float64(t.metaJSONs-1)*frac)
+}
+
+// ExpireSnapshots implements maintenance.Maintainer on the aggregate
+// model: it trims the history to keepLast snapshots and reclaims the
+// proportional share of manifests and old metadata.json versions.
+func (t *Table) ExpireSnapshots(keepLast int) (int, error) {
+	if keepLast < 1 {
+		keepLast = 1
+	}
+	dropped := t.snapshots - int64(keepLast)
+	if dropped <= 0 || t.snapshots == 0 {
+		return 0, nil
+	}
+	frac := float64(dropped) / float64(t.snapshots)
+	removedM := int64(float64(t.manifests) * frac)
+	removedJ := int64(float64(t.metaJSONs-1) * frac)
+	avg := t.avgMetaObjectBytes()
+	t.manifests -= removedM
+	t.metaJSONs -= removedJ
+	t.metaBytes -= avg * (removedM + removedJ)
+	if t.metaBytes < 0 {
+		t.metaBytes = 0
+	}
+	t.snapshots = int64(keepLast)
+	return int(removedM + removedJ), nil
+}
+
+// Checkpoint implements maintenance.Maintainer: the metadata log
+// collapses to the current metadata.json plus one checkpoint object
+// embedding the live file listing and retained history.
+func (t *Table) Checkpoint() (lst.MaintenanceResult, error) {
+	var res lst.MaintenanceResult
+	objects := t.MetadataObjects()
+	reclaimable := objects - 1 // all but the current metadata.json
+	if t.checkpoints > 0 && t.versionsSinceCkpt == 0 {
+		reclaimable -= t.checkpoints // checkpoint already current
+	}
+	if reclaimable <= 0 {
+		res.Skipped = true
+		return res, nil
+	}
+	ckptBytes := lst.CheckpointSizeBytes(int(t.snapshots), t.FileCount())
+	res.ObjectsRemoved = int(objects - 1)
+	res.ObjectsAdded = 1
+	res.BytesReclaimed = t.metaBytes - avgMetadataJSONBytes
+	if res.BytesReclaimed < 0 {
+		res.BytesReclaimed = 0
+	}
+	res.BytesWritten = ckptBytes
+	t.metaJSONs = 1
+	t.manifests = 0
+	t.checkpoints = 1
+	t.metaBytes = avgMetadataJSONBytes + ckptBytes
+	t.versionsSinceCkpt = 0
+	return res, nil
+}
+
+// RewriteManifests implements maintenance.Maintainer: manifests repack to
+// the live file entries at full density; the version history stays.
+func (t *Table) RewriteManifests() (lst.MaintenanceResult, error) {
+	var res lst.MaintenanceResult
+	consolidated := int64(lst.ConsolidatedManifestCount(t.FileCount(), lst.DefaultManifestEntriesPerFile))
+	if t.manifests <= consolidated {
+		res.Skipped = true
+		return res, nil
+	}
+	written := consolidated * lst.ManifestSizeBytes(lst.DefaultManifestEntriesPerFile)
+	reclaimed := t.manifests * avgManifestBytes
+	res.ObjectsRemoved = int(t.manifests)
+	res.ObjectsAdded = int(consolidated)
+	res.BytesReclaimed = reclaimed
+	res.BytesWritten = written
+	t.metaBytes += written - reclaimed
+	if t.metaBytes < 0 {
+		t.metaBytes = 0
+	}
+	t.manifests = consolidated
+	return res, nil
+}
+
 // Config parameterizes fleet construction.
 type Config struct {
 	Seed int64
@@ -156,9 +319,13 @@ type Fleet struct {
 	rng    *sim.RNG
 	tables []*Table
 
-	// openCalls accumulates modeled HDFS open() RPCs (Fig 11b).
-	openCalls int64
-	day       int
+	// openCalls accumulates modeled HDFS open() RPCs on data files
+	// (Fig 11b); metaOpenCalls counts the planning-time opens of
+	// metadata objects separately so the metadata-maintenance
+	// experiments can attribute NameNode pressure by cause.
+	openCalls     int64
+	metaOpenCalls int64
+	day           int
 }
 
 // New builds a fleet at day 0.
@@ -224,6 +391,9 @@ func (f *Fleet) onboard() *Table {
 		t.avgNewFile = storage.MB
 	}
 	t.scanShare = f.rng.Float64() * 0.5
+	// Metadata history from the table's past life: roughly one commit per
+	// 50 files, each leaving a metadata.json version and a manifest.
+	t.commitMetadata(files/50 + 1)
 	f.tables = append(f.tables, t)
 	return t
 }
@@ -237,13 +407,28 @@ func (f *Fleet) TableCount() int { return len(f.tables) }
 // Day returns the current simulation day.
 func (f *Fleet) Day() int { return f.day }
 
-// TotalFiles returns the fleet-wide file count.
+// TotalFiles returns the fleet-wide data-file count.
 func (f *Fleet) TotalFiles() int64 {
 	var n int64
 	for _, t := range f.tables {
 		n += t.counts[0] + t.counts[1] + t.counts[2]
 	}
 	return n
+}
+
+// TotalMetadataObjects returns the fleet-wide metadata-object count.
+func (f *Fleet) TotalMetadataObjects() int64 {
+	var n int64
+	for _, t := range f.tables {
+		n += t.MetadataObjects()
+	}
+	return n
+}
+
+// TotalObjects returns data files plus metadata objects — the NameNode's
+// namespace load (§2: object count forces federation).
+func (f *Fleet) TotalObjects() int64 {
+	return f.TotalFiles() + f.TotalMetadataObjects()
 }
 
 // Histogram returns fleet-wide [tiny, small, full] file counts (Fig 2).
@@ -319,6 +504,9 @@ func (f *Fleet) AdvanceDay() {
 		t.bytes[BucketTiny] += n * t.avgNewFile
 		t.lastWrite = f.clock.Now()
 		t.writes++
+		// The day's files land in batched commits (~20 files each), each
+		// leaving per-commit metadata behind (cause iv).
+		t.commitMetadata(1 + n/20)
 	}
 	// Onboarding: TablesPerMonth spread across 30 days.
 	newTables := f.cfg.TablesPerMonth / 30
@@ -336,6 +524,9 @@ type ScanStats struct {
 	TablesScanned int
 	FilesScanned  int64
 	BytesScanned  int64
+	// MetadataOpened counts the metadata objects query planning read
+	// (every scan walks the table's metadata log before touching data).
+	MetadataOpened int64
 	// QueryTime and QueryCost are modeled: time grows with per-file
 	// overhead and bytes; cost is App TBHr.
 	QueryTime time.Duration
@@ -343,7 +534,8 @@ type ScanStats struct {
 }
 
 // RunDailyScans models the daily scan-heavy workload: each table is read
-// with its scanShare probability; reads open every live file.
+// with its scanShare probability; reads open every live file plus the
+// metadata log (planning RPCs).
 func (f *Fleet) RunDailyScans() ScanStats {
 	var s ScanStats
 	const perFileOverhead = 30 * time.Millisecond
@@ -357,8 +549,10 @@ func (f *Fleet) RunDailyScans() ScanStats {
 		s.TablesScanned++
 		s.FilesScanned += files
 		s.BytesScanned += bytes
+		s.MetadataOpened += t.MetadataObjects()
 	}
 	f.openCalls += s.FilesScanned
+	f.metaOpenCalls += s.MetadataOpened
 	// Per-file overhead is paid across ~512 parallel tasks fleet-wide.
 	s.QueryTime = time.Duration(s.FilesScanned)*perFileOverhead/512 +
 		time.Duration(float64(s.BytesScanned)/scanBytesPerSec*float64(time.Second))
@@ -366,5 +560,9 @@ func (f *Fleet) RunDailyScans() ScanStats {
 	return s
 }
 
-// OpenCalls returns cumulative modeled HDFS open() RPCs.
+// OpenCalls returns cumulative modeled HDFS open() RPCs on data files.
 func (f *Fleet) OpenCalls() int64 { return f.openCalls }
+
+// MetadataOpenCalls returns cumulative planning-time open() RPCs on
+// metadata objects — the NameNode pressure cause (iv) contributes.
+func (f *Fleet) MetadataOpenCalls() int64 { return f.metaOpenCalls }

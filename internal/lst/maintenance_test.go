@@ -1,0 +1,251 @@
+package lst
+
+import (
+	"testing"
+	"time"
+
+	"autocomp/internal/storage"
+)
+
+// appendN commits n single-file appends a minute apart.
+func appendN(t *testing.T, tbl *Table, clock interface{ Advance(time.Duration) }, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		clock.Advance(time.Minute)
+		if _, err := tbl.AppendFiles([]FileSpec{{SizeBytes: storage.MB, RowCount: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExpireSnapshotsClampsKeepLast(t *testing.T) {
+	for _, keep := range []int{0, -5} {
+		fs, clock := testSetup()
+		tbl := newUnpartitionedTable(t, fs, clock)
+		appendN(t, tbl, clock, 5)
+		if _, err := tbl.ExpireSnapshots(keep); err != nil {
+			t.Fatal(err)
+		}
+		// keepLast < 1 clamps to 1: the newest snapshot must survive.
+		if got := len(tbl.Snapshots()); got != 1 {
+			t.Fatalf("keepLast=%d retained %d snapshots, want 1", keep, got)
+		}
+	}
+}
+
+func TestExpireSnapshotsDeletionAccounting(t *testing.T) {
+	fs, clock := testSetup()
+	tbl := newUnpartitionedTable(t, fs, clock)
+	appendN(t, tbl, clock, 10)
+
+	// 1 initial v0 metadata.json + 10 commits × (1 manifest + 1
+	// metadata.json).
+	ms := tbl.MetadataStats()
+	if ms.MetadataJSONs != 11 || ms.Manifests != 10 {
+		t.Fatalf("metadata breakdown = %+v", ms)
+	}
+	est := tbl.ExpireEstimate(3)
+	before := fs.ObjectCount()
+	deleted, err := tbl.ExpireSnapshots(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != est {
+		t.Fatalf("deleted %d, estimate said %d", deleted, est)
+	}
+	// Dropping snapshots 1..7 removes their 7 manifests plus the
+	// metadata.json versions older than the oldest retained sequence
+	// (v0..v7): 8 files.
+	if deleted != 15 {
+		t.Fatalf("deleted = %d, want 15 (7 manifests + 8 metadata.json)", deleted)
+	}
+	if fs.ObjectCount() != before-deleted {
+		t.Fatalf("storage objects %d -> %d, deleted %d", before, fs.ObjectCount(), deleted)
+	}
+	after := tbl.MetadataStats()
+	if after.Manifests != 3 || after.MetadataJSONs != 3 {
+		t.Fatalf("after expire: %+v", after)
+	}
+	// Idempotent: a second expiry at the same retention is a no-op.
+	if n, _ := tbl.ExpireSnapshots(3); n != 0 {
+		t.Fatalf("second expire deleted %d", n)
+	}
+}
+
+func TestCheckpointCollapsesMetadataLog(t *testing.T) {
+	fs, clock := testSetup()
+	tbl := newUnpartitionedTable(t, fs, clock)
+	appendN(t, tbl, clock, 10)
+
+	before := tbl.MetadataStats()
+	fsBefore := fs.ObjectCount()
+	res, err := tbl.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped {
+		t.Fatal("checkpoint skipped with a 21-object log")
+	}
+	// Everything except the current metadata.json is reclaimed and one
+	// checkpoint object is written.
+	if res.ObjectsRemoved != before.Objects-1 || res.ObjectsAdded != 1 {
+		t.Fatalf("removed=%d added=%d, log had %d objects", res.ObjectsRemoved, res.ObjectsAdded, before.Objects)
+	}
+	if res.BytesReclaimed <= 0 || res.BytesWritten <= 0 {
+		t.Fatalf("byte accounting: %+v", res)
+	}
+	if fs.ObjectCount() != fsBefore-res.Reduction() {
+		t.Fatalf("storage objects %d -> %d, net reduction %d", fsBefore, fs.ObjectCount(), res.Reduction())
+	}
+	after := tbl.MetadataStats()
+	if after.Objects != 2 || after.Checkpoints != 1 || after.MetadataJSONs != 1 || after.Manifests != 0 {
+		t.Fatalf("after checkpoint: %+v", after)
+	}
+	if after.LastCheckpointVersion != tbl.Version() || after.VersionsSinceCheckpoint != 0 {
+		t.Fatalf("checkpoint status: %+v (version %d)", after, tbl.Version())
+	}
+	// Data is untouched.
+	if tbl.FileCount() != 10 {
+		t.Fatalf("live files = %d", tbl.FileCount())
+	}
+
+	// A second checkpoint with no intervening commits has nothing to do.
+	res2, err := tbl.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Skipped {
+		t.Fatalf("up-to-date checkpoint not skipped: %+v", res2)
+	}
+}
+
+func TestCheckpointThenCommitsThenRecheckpoint(t *testing.T) {
+	fs, clock := testSetup()
+	tbl := newUnpartitionedTable(t, fs, clock)
+	appendN(t, tbl, clock, 5)
+	if _, err := tbl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, tbl, clock, 4)
+	ms := tbl.MetadataStats()
+	if ms.VersionsSinceCheckpoint != 4 {
+		t.Fatalf("versions since checkpoint = %d", ms.VersionsSinceCheckpoint)
+	}
+	// 2 from the first checkpoint + 4 commits × 2 objects.
+	if ms.Objects != 10 {
+		t.Fatalf("objects = %d, want 10", ms.Objects)
+	}
+	res, err := tbl.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stale checkpoint is reclaimed along with the post-checkpoint
+	// log tail.
+	if res.ObjectsRemoved != 9 || res.ObjectsAdded != 1 {
+		t.Fatalf("recheckpoint removed=%d added=%d", res.ObjectsRemoved, res.ObjectsAdded)
+	}
+	after := tbl.MetadataStats()
+	if after.Objects != 2 || after.Checkpoints != 1 {
+		t.Fatalf("after recheckpoint: %+v", after)
+	}
+}
+
+func TestExpireKeepsCheckpoint(t *testing.T) {
+	fs, clock := testSetup()
+	tbl := newUnpartitionedTable(t, fs, clock)
+	appendN(t, tbl, clock, 5)
+	if _, err := tbl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, tbl, clock, 5)
+	if _, err := tbl.ExpireSnapshots(1); err != nil {
+		t.Fatal(err)
+	}
+	ms := tbl.MetadataStats()
+	if ms.Checkpoints != 1 {
+		t.Fatalf("expire deleted the checkpoint: %+v", ms)
+	}
+}
+
+func TestRewriteManifestsConsolidates(t *testing.T) {
+	fs, clock := testSetup()
+	tbl, err := NewTable(TableConfig{
+		Database: "db1", Name: "orders",
+		Schema:                 Schema{Fields: []Field{{Name: "k", Type: TypeInt64}}},
+		ManifestEntriesPerFile: 4,
+	}, fs, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, tbl, clock, 10) // 10 manifests, one entry each
+
+	before := tbl.MetadataStats()
+	if before.Manifests != 10 || before.ConsolidatedManifests != 3 {
+		t.Fatalf("before rewrite: %+v", before)
+	}
+	fsBefore := fs.ObjectCount()
+	res, err := tbl.RewriteManifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 single-entry manifests repack into ceil(10/4) = 3.
+	if res.ObjectsRemoved != 10 || res.ObjectsAdded != 3 {
+		t.Fatalf("rewrite removed=%d added=%d", res.ObjectsRemoved, res.ObjectsAdded)
+	}
+	if fs.ObjectCount() != fsBefore-res.Reduction() {
+		t.Fatalf("storage objects %d -> %d", fsBefore, fs.ObjectCount())
+	}
+	after := tbl.MetadataStats()
+	if after.Manifests != 3 {
+		t.Fatalf("after rewrite: %+v", after)
+	}
+	// metadata.json history is untouched (unlike Checkpoint).
+	if after.MetadataJSONs != before.MetadataJSONs {
+		t.Fatalf("rewrite touched metadata.json history: %+v", after)
+	}
+	// Already consolidated: nothing to do.
+	res2, err := tbl.RewriteManifests()
+	if err != nil || !res2.Skipped {
+		t.Fatalf("second rewrite = %+v, %v", res2, err)
+	}
+}
+
+func TestExpireKeepsConsolidatedManifests(t *testing.T) {
+	fs, clock := testSetup()
+	tbl := newUnpartitionedTable(t, fs, clock)
+	appendN(t, tbl, clock, 5)
+	if _, err := tbl.RewriteManifests(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, tbl, clock, 5)
+	// Expiring past the rewrite point must not reclaim the consolidated
+	// manifests: they describe the live file set, not history.
+	if _, err := tbl.ExpireSnapshots(1); err != nil {
+		t.Fatal(err)
+	}
+	ms := tbl.MetadataStats()
+	if ms.Manifests < 1 {
+		t.Fatalf("expire reclaimed the consolidated manifests: %+v", ms)
+	}
+	if ms.ConsolidatedManifests != 1 {
+		t.Fatalf("consolidated estimate = %d", ms.ConsolidatedManifests)
+	}
+	// The live files are all still accounted for.
+	if tbl.FileCount() != 10 {
+		t.Fatalf("live files = %d", tbl.FileCount())
+	}
+}
+
+func TestMetadataStatsOrphanAccounting(t *testing.T) {
+	fs, clock := testSetup()
+	tbl := newUnpartitionedTable(t, fs, clock)
+	appendN(t, tbl, clock, 6)
+	ms := tbl.MetadataStats()
+	// All metadata.json versions except the current one are orphans.
+	if ms.OrphanObjects != ms.MetadataJSONs-1 {
+		t.Fatalf("orphans = %d of %d metadata.json", ms.OrphanObjects, ms.MetadataJSONs)
+	}
+	if ms.LastCheckpointVersion != -1 || ms.VersionsSinceCheckpoint != tbl.Version() {
+		t.Fatalf("checkpoint status on fresh table: %+v", ms)
+	}
+}

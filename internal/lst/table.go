@@ -50,10 +50,40 @@ type Table struct {
 	lastWrite  time.Duration
 	writeCount int64
 
-	// metadataObjects tracks metadata file paths (metadata.json versions
-	// and manifests) currently held in storage; ExpireSnapshots trims it.
-	metadataObjects []string
+	// metaObjects tracks the metadata files (metadata.json versions,
+	// manifests, checkpoints) currently held in storage; ExpireSnapshots,
+	// Checkpoint, and RewriteManifests trim it.
+	metaObjects []metaObject
+	// lastCheckpointVersion is the table version the newest checkpoint
+	// covers, or -1 when the table has never been checkpointed.
+	lastCheckpointVersion int64
 }
+
+// metaKind classifies a metadata object.
+type metaKind int
+
+const (
+	metaJSON       metaKind = iota // versioned metadata.json
+	metaManifest                   // per-commit manifest
+	metaCheckpoint                 // checkpoint object (collapsed log)
+)
+
+// metaObject is one metadata file tracked by the table.
+type metaObject struct {
+	path string
+	kind metaKind
+	// ref is the metadata version for metaJSON and metaCheckpoint
+	// objects, and the owning snapshot ID for metaManifest objects.
+	// Consolidated manifests written by RewriteManifests carry
+	// liveManifest: they describe the live file set, not one commit's
+	// changes, so snapshot expiry must never reclaim them.
+	ref  int64
+	size int64
+}
+
+// liveManifest is the ref sentinel for consolidated manifests that
+// describe live state rather than a single snapshot's history.
+const liveManifest int64 = -1
 
 // NewTable creates a table and writes its initial metadata object.
 func NewTable(cfg TableConfig, fs *storage.NameNode, clock *sim.Clock) (*Table, error) {
@@ -61,14 +91,15 @@ func NewTable(cfg TableConfig, fs *storage.NameNode, clock *sim.Clock) (*Table, 
 		return nil, fmt.Errorf("lst: table requires database and name")
 	}
 	if cfg.ManifestEntriesPerFile <= 0 {
-		cfg.ManifestEntriesPerFile = 1000
+		cfg.ManifestEntriesPerFile = DefaultManifestEntriesPerFile
 	}
 	t := &Table{
-		cfg:     cfg,
-		fs:      fs,
-		clock:   clock,
-		files:   make(map[string]*DataFile),
-		created: clock.Now(),
+		cfg:                   cfg,
+		fs:                    fs,
+		clock:                 clock,
+		files:                 make(map[string]*DataFile),
+		created:               clock.Now(),
+		lastCheckpointVersion: -1,
 	}
 	if err := t.writeMetadataLocked(0); err != nil {
 		return nil, err
@@ -256,12 +287,111 @@ func (t *Table) SizeHistogram(bounds []int64) []int64 {
 }
 
 // MetadataObjectCount returns the number of metadata files (metadata.json
-// versions plus manifests) held in storage — the paper's cause (iv) of
-// small-file proliferation.
+// versions, manifests, and checkpoints) held in storage — the paper's
+// cause (iv) of small-file proliferation.
 func (t *Table) MetadataObjectCount() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.metadataObjects)
+	return len(t.metaObjects)
+}
+
+// MetadataStats is the metadata-layer health summary the maintenance
+// subsystem observes: how large the metadata log has grown and how much a
+// checkpoint or manifest rewrite could reclaim.
+type MetadataStats struct {
+	// Objects and Bytes cover every metadata file in storage.
+	Objects int
+	Bytes   int64
+	// MetadataJSONs, Manifests, and Checkpoints break Objects down by
+	// kind.
+	MetadataJSONs int
+	Manifests     int
+	Checkpoints   int
+	// Snapshots is the retained snapshot-history length.
+	Snapshots int
+	// LastCheckpointVersion is the metadata version the newest checkpoint
+	// covers (-1 when never checkpointed); VersionsSinceCheckpoint counts
+	// commits since then.
+	LastCheckpointVersion   int64
+	VersionsSinceCheckpoint int64
+	// OrphanObjects counts metadata files no current reader needs: old
+	// metadata.json versions and superseded checkpoints. They are exactly
+	// what Checkpoint reclaims beyond manifest consolidation.
+	OrphanObjects int
+	// ConsolidatedManifests is how many manifests a RewriteManifests
+	// would leave (the live file entries repacked at full density).
+	ConsolidatedManifests int
+}
+
+// MetadataStats returns the current metadata-layer summary.
+func (t *Table) MetadataStats() MetadataStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := MetadataStats{
+		Objects:               len(t.metaObjects),
+		Snapshots:             len(t.snapshots),
+		LastCheckpointVersion: t.lastCheckpointVersion,
+	}
+	for _, m := range t.metaObjects {
+		s.Bytes += m.size
+		switch m.kind {
+		case metaJSON:
+			s.MetadataJSONs++
+			if m.ref < t.version {
+				s.OrphanObjects++
+			}
+		case metaManifest:
+			s.Manifests++
+		case metaCheckpoint:
+			s.Checkpoints++
+			if m.ref < t.lastCheckpointVersion {
+				s.OrphanObjects++
+			}
+		}
+	}
+	if t.lastCheckpointVersion >= 0 {
+		s.VersionsSinceCheckpoint = t.version - t.lastCheckpointVersion
+	} else {
+		s.VersionsSinceCheckpoint = t.version
+	}
+	s.ConsolidatedManifests = ConsolidatedManifestCount(len(t.files), t.cfg.ManifestEntriesPerFile)
+	return s
+}
+
+// Metadata object size model. Exported so aggregate simulators (the
+// fleet package) price exactly the bytes these writers produce.
+
+// DefaultManifestEntriesPerFile is the manifest density used when
+// TableConfig.ManifestEntriesPerFile is unset.
+const DefaultManifestEntriesPerFile = 1000
+
+// MetadataJSONSizeBytes models one metadata.json version for a table
+// with the given snapshot-history length.
+func MetadataJSONSizeBytes(snapshots int) int64 {
+	return 4*storage.KB + 256*int64(snapshots)
+}
+
+// ManifestSizeBytes models a manifest holding the given file entries.
+func ManifestSizeBytes(entries int) int64 {
+	return 8*storage.KB + 128*int64(entries)
+}
+
+// CheckpointSizeBytes models a checkpoint object embedding the live file
+// listing and the retained snapshot history.
+func CheckpointSizeBytes(snapshots, files int) int64 {
+	return 4*storage.KB + 256*int64(snapshots) + 128*int64(files)
+}
+
+// ConsolidatedManifestCount returns how many manifests hold the given
+// live files at full per-manifest entry density.
+func ConsolidatedManifestCount(files, entriesPerManifest int) int {
+	if files <= 0 {
+		return 0
+	}
+	if entriesPerManifest <= 0 {
+		entriesPerManifest = DefaultManifestEntriesPerFile
+	}
+	return (files + entriesPerManifest - 1) / entriesPerManifest
 }
 
 // path helpers
@@ -278,11 +408,11 @@ func (t *Table) dataPathLocked(partition string) string {
 // writeMetadataLocked writes the versioned metadata.json object.
 func (t *Table) writeMetadataLocked(version int64) error {
 	path := fmt.Sprintf("/%s/%s/metadata/v%d.metadata.json", t.cfg.Database, t.cfg.Name, version)
-	size := int64(4*storage.KB) + 256*int64(len(t.snapshots))
+	size := MetadataJSONSizeBytes(len(t.snapshots))
 	if err := t.fs.Create(path, size); err != nil {
 		return err
 	}
-	t.metadataObjects = append(t.metadataObjects, path)
+	t.metaObjects = append(t.metaObjects, metaObject{path: path, kind: metaJSON, ref: version, size: size})
 	return nil
 }
 
@@ -300,11 +430,11 @@ func (t *Table) writeManifestsLocked(snapID int64, changed int) (int, error) {
 			entries = changed - per*(count-1)
 		}
 		path := fmt.Sprintf("/%s/%s/metadata/manifest-%d-%d.avro", t.cfg.Database, t.cfg.Name, snapID, i)
-		size := int64(8*storage.KB) + 128*int64(entries)
+		size := ManifestSizeBytes(entries)
 		if err := t.fs.Create(path, size); err != nil {
 			return i, err
 		}
-		t.metadataObjects = append(t.metadataObjects, path)
+		t.metaObjects = append(t.metaObjects, metaObject{path: path, kind: metaManifest, ref: snapID, size: size})
 	}
 	return count, nil
 }
@@ -314,7 +444,8 @@ func (t *Table) writeManifestsLocked(snapID int64, changed int) (int, error) {
 // of dropped snapshots) from storage. It returns the number of storage
 // objects deleted. Data files are deleted eagerly at commit time in this
 // simulator (orphan cleanup is assumed immediate; see DESIGN.md §2), so
-// expiration only reclaims metadata.
+// expiration only reclaims metadata. Checkpoint objects survive: they
+// describe live state, not history.
 func (t *Table) ExpireSnapshots(keepLast int) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -335,36 +466,184 @@ func (t *Table) ExpireSnapshots(keepLast int) (int, error) {
 	// versions older than the oldest retained snapshot.
 	oldestRetained := t.snapshots[0].Sequence
 	deleted := 0
-	kept := t.metadataObjects[:0]
-	for _, path := range t.metadataObjects {
-		var snapID, idx, ver int64
-		if n, _ := fmt.Sscanf(tail(path), "manifest-%d-%d.avro", &snapID, &idx); n == 2 {
-			if _, drop := droppedIDs[snapID]; drop {
-				if err := t.fs.Delete(path); err == nil {
-					deleted++
-				}
-				continue
-			}
-		} else if n, _ := fmt.Sscanf(tail(path), "v%d.metadata.json", &ver); n == 1 {
-			if ver < oldestRetained {
-				if err := t.fs.Delete(path); err == nil {
-					deleted++
-				}
+	kept := t.metaObjects[:0]
+	for _, m := range t.metaObjects {
+		drop := false
+		switch m.kind {
+		case metaManifest:
+			_, drop = droppedIDs[m.ref]
+		case metaJSON:
+			drop = m.ref < oldestRetained
+		}
+		if drop {
+			if err := t.fs.Delete(m.path); err == nil {
+				deleted++
 				continue
 			}
 		}
-		kept = append(kept, path)
+		kept = append(kept, m)
 	}
-	t.metadataObjects = kept
+	t.metaObjects = kept
 	return deleted, nil
 }
 
-// tail returns the final path component.
-func tail(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[i+1:]
+// ExpireEstimate returns how many metadata objects ExpireSnapshots
+// (keepLast) would delete right now, without mutating anything.
+func (t *Table) ExpireEstimate(keepLast int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if keepLast < 1 {
+		keepLast = 1
+	}
+	if len(t.snapshots) <= keepLast {
+		return 0
+	}
+	dropped := t.snapshots[:len(t.snapshots)-keepLast]
+	droppedIDs := make(map[int64]struct{}, len(dropped))
+	for _, s := range dropped {
+		droppedIDs[s.ID] = struct{}{}
+	}
+	oldestRetained := t.snapshots[len(t.snapshots)-keepLast].Sequence
+	n := 0
+	for _, m := range t.metaObjects {
+		switch m.kind {
+		case metaManifest:
+			if _, ok := droppedIDs[m.ref]; ok {
+				n++
+			}
+		case metaJSON:
+			if m.ref < oldestRetained {
+				n++
+			}
 		}
 	}
-	return path
+	return n
+}
+
+// MaintenanceResult reports one metadata-maintenance operation
+// (Checkpoint or RewriteManifests): how many storage objects and bytes it
+// removed and created.
+type MaintenanceResult struct {
+	ObjectsRemoved int
+	ObjectsAdded   int
+	BytesReclaimed int64
+	BytesWritten   int64
+	// Skipped is true when the operation had nothing worth doing.
+	Skipped bool
+}
+
+// Reduction returns the net metadata-object reduction achieved.
+func (r MaintenanceResult) Reduction() int { return r.ObjectsRemoved - r.ObjectsAdded }
+
+// Checkpoint collapses the metadata log — every metadata.json version,
+// manifest, and prior checkpoint — into a single checkpoint object that
+// embeds the live file listing and the retained snapshot history, in the
+// style of delta-rs log compaction / Iceberg metadata rewrite. Only the
+// current metadata.json survives alongside the checkpoint (it is the
+// commit anchor new writers validate against), so a freshly checkpointed
+// table holds exactly two metadata objects. Subsequent commits append new
+// metadata.json versions and manifests after the checkpoint as usual.
+func (t *Table) Checkpoint() (MaintenanceResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var res MaintenanceResult
+	// Nothing to collapse when the log is already just the current
+	// metadata.json (plus an up-to-date checkpoint).
+	reclaimable := 0
+	for _, m := range t.metaObjects {
+		if m.kind == metaJSON && m.ref == t.version {
+			continue
+		}
+		if m.kind == metaCheckpoint && m.ref == t.version {
+			continue
+		}
+		reclaimable++
+	}
+	if reclaimable == 0 {
+		res.Skipped = true
+		return res, nil
+	}
+
+	path := fmt.Sprintf("/%s/%s/metadata/checkpoint-v%d.json", t.cfg.Database, t.cfg.Name, t.version)
+	size := CheckpointSizeBytes(len(t.snapshots), len(t.files))
+	if err := t.fs.Create(path, size); err != nil {
+		return res, err
+	}
+	res.ObjectsAdded = 1
+	res.BytesWritten = size
+
+	kept := t.metaObjects[:0]
+	for _, m := range t.metaObjects {
+		if m.kind == metaJSON && m.ref == t.version {
+			kept = append(kept, m)
+			continue
+		}
+		if err := t.fs.Delete(m.path); err != nil {
+			// Keep the record consistent with storage on failure.
+			kept = append(kept, m)
+			continue
+		}
+		res.ObjectsRemoved++
+		res.BytesReclaimed += m.size
+	}
+	t.metaObjects = append(kept, metaObject{path: path, kind: metaCheckpoint, ref: t.version, size: size})
+	t.lastCheckpointVersion = t.version
+	return res, nil
+}
+
+// RewriteManifests consolidates the table's manifests into the minimum
+// number that holds the live file entries at full density (Iceberg's
+// rewrite_manifests action). Unlike Checkpoint it leaves the metadata.json
+// version history untouched, so it is the cheaper action when only
+// manifest count — not log length — is the problem.
+func (t *Table) RewriteManifests() (MaintenanceResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var res MaintenanceResult
+	manifests := 0
+	for _, m := range t.metaObjects {
+		if m.kind == metaManifest {
+			manifests++
+		}
+	}
+	per := t.cfg.ManifestEntriesPerFile
+	consolidated := ConsolidatedManifestCount(len(t.files), per)
+	if manifests <= consolidated {
+		res.Skipped = true
+		return res, nil
+	}
+
+	// Write the consolidated manifests first, then drop the old ones.
+	added := make([]metaObject, 0, consolidated)
+	remaining := len(t.files)
+	for i := 0; i < consolidated; i++ {
+		entries := per
+		if entries > remaining {
+			entries = remaining
+		}
+		remaining -= entries
+		path := fmt.Sprintf("/%s/%s/metadata/manifest-r%d-%d.avro", t.cfg.Database, t.cfg.Name, t.version, i)
+		size := ManifestSizeBytes(entries)
+		if err := t.fs.Create(path, size); err != nil {
+			return res, err
+		}
+		added = append(added, metaObject{path: path, kind: metaManifest, ref: liveManifest, size: size})
+		res.ObjectsAdded++
+		res.BytesWritten += size
+	}
+	kept := t.metaObjects[:0]
+	for _, m := range t.metaObjects {
+		if m.kind != metaManifest {
+			kept = append(kept, m)
+			continue
+		}
+		if err := t.fs.Delete(m.path); err != nil {
+			kept = append(kept, m)
+			continue
+		}
+		res.ObjectsRemoved++
+		res.BytesReclaimed += m.size
+	}
+	t.metaObjects = append(kept, added...)
+	return res, nil
 }

@@ -1,0 +1,83 @@
+package maintenance
+
+import (
+	"autocomp/internal/catalog"
+	"autocomp/internal/compaction"
+	"autocomp/internal/core"
+)
+
+// Options parameterizes NewCatalogService.
+type Options struct {
+	// TargetFileSize classifies small data files (512 MB in the paper).
+	TargetFileSize int64
+	// ExecutorMemoryGB and RewriteBytesPerHour price all actions.
+	ExecutorMemoryGB    float64
+	RewriteBytesPerHour float64
+	// Exec runs data compactions; nil builds a metadata-only pipeline
+	// (no data-compaction candidates are generated).
+	Exec *compaction.Executor
+	// Selector defaults to SelectAll.
+	Selector core.Selector
+	// DefaultPolicy fills policy fields the catalog leaves unset; the
+	// zero value means DefaultPolicy().
+	DefaultPolicy Policy
+	// Weights for the (ΔF, ΔM, GBHr) objectives; must sum to 1. The zero
+	// value means (0.5, 0.2, 0.3).
+	Weights [3]float64
+}
+
+// NewCatalogService wires a unified maintenance pipeline over an
+// OpenHouse-style control plane: data compaction, snapshot expiry,
+// metadata checkpointing, and manifest rewriting all flow through one
+// OODA cycle, ranked by a three-objective MOOP (file-count reduction,
+// metadata reduction, compute cost) and selected under one budget.
+func NewCatalogService(cp *catalog.ControlPlane, opts Options) (*core.Service, error) {
+	if opts.DefaultPolicy == (Policy{}) {
+		opts.DefaultPolicy = DefaultPolicy()
+	}
+	if opts.Weights == ([3]float64{}) {
+		opts.Weights = [3]float64{0.5, 0.2, 0.3}
+	}
+	pols := CatalogPolicies{CP: cp, Default: opts.DefaultPolicy}
+	cost := core.ComputeCost{
+		ExecutorMemoryGB:    opts.ExecutorMemoryGB,
+		RewriteBytesPerHour: opts.RewriteBytesPerHour,
+	}
+	var dataGen core.Generator
+	var dataRunner core.Runner
+	if opts.Exec != nil {
+		dataGen = core.HybridScopeGenerator{}
+		dataRunner = core.ExecutorRunner{Exec: opts.Exec}
+	}
+	return core.NewService(core.Config{
+		Connector: core.CatalogConnector{CP: cp},
+		Generator: Generator{Data: dataGen, Policies: pols},
+		Observer: Observer{
+			Base: core.StatsObserver{
+				TargetFileSize: opts.TargetFileSize,
+				Quota:          cp.QuotaUtilization,
+				Now:            cp.Clock().Now,
+			},
+			Policies: pols,
+			Now:      cp.Clock().Now,
+		},
+		StatsFilters: []core.Filter{
+			core.ForAction{Action: core.ActionDataCompaction, Inner: core.MinSmallFiles{Min: 2}},
+			core.MinMetadataReduction{Min: 1},
+		},
+		Traits: []core.Trait{core.FileCountReduction{}, core.MetadataReduction{}, cost},
+		Ranker: core.MOOPRanker{Objectives: []core.Objective{
+			{Trait: core.FileCountReduction{}, Weight: opts.Weights[0]},
+			{Trait: core.MetadataReduction{}, Weight: opts.Weights[1]},
+			{Trait: cost, Weight: opts.Weights[2]},
+		}},
+		Selector:  opts.Selector,
+		Scheduler: core.SequentialScheduler{},
+		Runner: Runner{
+			Data:                dataRunner,
+			Policies:            pols,
+			ExecutorMemoryGB:    opts.ExecutorMemoryGB,
+			RewriteBytesPerHour: opts.RewriteBytesPerHour,
+		},
+	})
+}
