@@ -5,16 +5,23 @@
 // per cycle with a per-action breakdown. In unified mode (the default)
 // snapshot expiry, metadata checkpointing, and manifest rewriting rank
 // against data compaction in one MOOP under the same budget selector.
+// With -workers > 0 (the default) the act phase runs on the concurrent
+// execution plane — a worker pool with per-table leases, optimistic
+// commit retry against live writers, and sharded GBHr budgets — and each
+// cycle also prints makespan, utilization, queue depth, and
+// conflict/retry/backpressure counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
 	"autocomp/internal/maintenance"
+	"autocomp/internal/scheduler"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
@@ -29,6 +36,10 @@ func main() {
 	unified := flag.Bool("unified", true, "rank metadata maintenance (expiry/checkpoint/manifest rewrite) in the same budget as data compaction")
 	checkpointEvery := flag.Int64("checkpoint-every", 100, "commits between metadata checkpoints (unified mode)")
 	retainSnapshots := flag.Int("retain-snapshots", 20, "snapshots kept by expiry (unified mode)")
+	workers := flag.Int("workers", 8, "concurrent compaction job slots (0 = serial act phase)")
+	shards := flag.Int("shards", 4, "GBHr budget shards for the execution plane")
+	shardBudget := flag.Float64("shard-budget-tbhr", 0, "per-shard per-cycle budget (TBHr, 0 = unlimited)")
+	writerRate := flag.Float64("writer-rate", 30, "live writer commits/hour racing the compactor (scheduled mode)")
 	flag.Parse()
 
 	clock := sim.NewClock()
@@ -81,11 +92,34 @@ func main() {
 		}
 	}
 
+	var sched *fleet.ScheduledService
+	if *workers > 0 {
+		sched = f.ScheduleService(svc, model, fleet.SchedOptions{
+			Workers:              *workers,
+			Shards:               *shards,
+			ShardBudgetGBHr:      *shardBudget * 1024,
+			WriterCommitsPerHour: *writerRate,
+		})
+	}
+
 	fmt.Printf("autocompd: %d tables, %d files, %d metadata objects, %.0f%% under 128MB\n",
 		f.TableCount(), f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
+	if sched != nil {
+		fmt.Printf("execution plane: %d workers over %d shards (writer rate %.0f commits/h)\n",
+			*workers, *shards, *writerRate)
+	}
 	for d := 1; d <= *days; d++ {
 		f.AdvanceDay()
-		rep, err := svc.RunOnce()
+		var (
+			rep   *core.Report
+			stats scheduler.Stats
+			err   error
+		)
+		if sched != nil {
+			rep, stats, err = sched.RunCycle()
+		} else {
+			rep, err = svc.RunOnce()
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,5 +130,11 @@ func main() {
 			counts[core.ActionDataCompaction], counts[core.ActionSnapshotExpiry],
 			counts[core.ActionMetadataCheckpoint], counts[core.ActionManifestRewrite],
 			f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
+		if sched != nil {
+			fmt.Printf("         sched: makespan=%8v util=%3.0f%%  queue[max=%3d mean=%5.1f]  conflicts=%3d retries=%3d deferred=%3d\n",
+				stats.Makespan.Round(time.Second), 100*stats.Utilization(),
+				stats.MaxQueueDepth, stats.MeanQueueDepth,
+				stats.Conflicts, stats.Retries, stats.Deferred)
+		}
 	}
 }

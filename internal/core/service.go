@@ -70,6 +70,11 @@ func NewService(cfg Config) (*Service, error) {
 	return &Service{cfg: cfg}, nil
 }
 
+// Runner returns the configured runner (nil when the service can only
+// Decide). External execution planes — e.g. the scheduler's worker pool —
+// use it to run the selected candidates themselves.
+func (s *Service) Runner() Runner { return s.cfg.Runner }
+
 // Decision is the output of the observe–orient–decide phases: the ranked
 // and selected candidates plus the execution plan, with pool sizes at
 // each refinement point for explainability (NFR2).

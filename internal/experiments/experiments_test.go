@@ -28,7 +28,8 @@ func runQuick(t *testing.T, id string) Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"est", "fig1", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b",
-		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "maint", "table1",
+		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "maint", "sched",
+		"table1",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -338,6 +339,44 @@ func TestMaintShape(t *testing.T) {
 	if res.UnifiedUtilization >= res.DataOnlyUtilization {
 		t.Fatalf("unified NameNode utilization %.4f >= data-only %.4f",
 			res.UnifiedUtilization, res.DataOnlyUtilization)
+	}
+}
+
+func TestSchedShape(t *testing.T) {
+	res := runQuick(t, "sched").(SchedResult)
+	if len(res.ByWorkers) != 5 || len(res.ByWriters) != 4 {
+		t.Fatalf("samples = %d/%d", len(res.ByWorkers), len(res.ByWriters))
+	}
+	// Every worker-count point schedules the same ranked plan.
+	jobs := res.ByWorkers[0].Jobs
+	for _, s := range res.ByWorkers {
+		if s.Jobs != jobs {
+			t.Fatalf("plans differ across worker counts: %d vs %d jobs", s.Jobs, jobs)
+		}
+	}
+	// Makespan shrinks monotonically-ish with workers; 8 workers must be
+	// measurably faster than 1 (the acceptance criterion).
+	w := map[int]SchedWorkerSample{}
+	for _, s := range res.ByWorkers {
+		w[s.Workers] = s
+	}
+	if w[8].Makespan >= w[1].Makespan {
+		t.Fatalf("8-worker makespan %v not below 1-worker %v", w[8].Makespan, w[1].Makespan)
+	}
+	if w[8].Speedup < 2 {
+		t.Fatalf("8-worker speedup %.2fx, want ≥2x", w[8].Speedup)
+	}
+	// Conflicts are zero on a quiet lake and grow with writer pressure.
+	if res.ByWriters[0].Conflicts != 0 {
+		t.Fatalf("quiet lake conflicts = %d", res.ByWriters[0].Conflicts)
+	}
+	last := res.ByWriters[len(res.ByWriters)-1]
+	if last.Conflicts == 0 {
+		t.Fatal("heavy writer traffic produced no conflicts")
+	}
+	if first := res.ByWriters[1]; last.ConflictRate < first.ConflictRate {
+		t.Fatalf("conflict rate fell with writer rate: %.3f -> %.3f",
+			first.ConflictRate, last.ConflictRate)
 	}
 }
 

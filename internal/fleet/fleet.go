@@ -66,6 +66,10 @@ type Table struct {
 	commits           int64
 	versionsSinceCkpt int64
 
+	// props carries free-form table properties (policy tags like
+	// "intermediate"); see Prop.
+	props map[string]string
+
 	fleet *Fleet
 }
 
@@ -89,8 +93,57 @@ func (t *Table) Spec() lst.PartitionSpec {
 // Mode implements core.Table.
 func (t *Table) Mode() lst.WriteMode { return lst.CopyOnWrite }
 
-// Prop implements core.Table.
-func (t *Table) Prop(string) string { return "" }
+// Prop implements core.Table: explicitly set policy properties first
+// (SetProp), then the built-in properties derived from the aggregate
+// model — "partitioned" ("true"/"false"), "partitions", and "scan_share"
+// — so core's property-driven filters (e.g. NotIntermediate) are live
+// against the fleet substrate, not dead code.
+func (t *Table) Prop(key string) string {
+	if v, ok := t.props[key]; ok {
+		return v
+	}
+	switch key {
+	case "partitioned":
+		if t.partitioned {
+			return "true"
+		}
+		return "false"
+	case "partitions":
+		return fmt.Sprintf("%d", t.partitions)
+	case "scan_share":
+		return fmt.Sprintf("%.3f", t.scanShare)
+	}
+	return ""
+}
+
+// SetProp tags the table with a policy property (e.g. "intermediate" =
+// "true" to exclude scratch tables from maintenance, §4.1).
+func (t *Table) SetProp(key, value string) {
+	if t.props == nil {
+		t.props = make(map[string]string)
+	}
+	t.props[key] = value
+}
+
+// Version returns the table's snapshot/commit version. It implements
+// scheduler.Versioned: the execution plane records it at job start and
+// re-reads it at commit time to detect writer races.
+func (t *Table) Version() int64 { return t.commits }
+
+// WriterCommit applies one live writer commit of n small files at
+// sub-day granularity — the writer side of the §4.4 writer-vs-compactor
+// race. It advances the snapshot version, so compaction jobs in flight on
+// this table will fail their optimistic commit check and retry.
+func (t *Table) WriterCommit(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	t.counts[BucketTiny] += n
+	t.bytes[BucketTiny] += n * t.avgNewFile
+	t.lastWrite = t.fleet.clock.Now()
+	t.writes++
+	t.commitMetadata(1)
+}
 
 // Created implements core.Table.
 func (t *Table) Created() time.Duration { return t.created }

@@ -1,0 +1,84 @@
+package scheduler
+
+import (
+	"sync"
+	"time"
+
+	"autocomp/internal/core"
+)
+
+// RunReal drains the pool with Config.Workers goroutines on the pool's
+// clock (normally a WallClock). work, when non-nil, is the job's actual
+// execution body and runs outside the pool lock — this is where a real
+// deployment performs the rewrite I/O; the commit (staleness check plus
+// Runner.Run) happens under the lock, so commits serialize exactly like
+// optimistic commits against a single catalog endpoint while execution
+// overlaps freely.
+//
+// The queue, lease, budget, retry, and backpressure semantics are the
+// same state machine RunSim drives; only the element of time differs.
+//
+// The pool must be built on a *WallClock — backoff timers are armed in
+// wall time, so a virtual clock would deadlock the first retry — and all
+// submissions must happen before the call: unlike RunSim, the pool is
+// not safe to feed while worker goroutines are draining it.
+func RunReal(p *Pool, work func(*core.Candidate)) Stats {
+	if _, ok := p.clock.(*WallClock); !ok {
+		panic("scheduler: RunReal requires a pool built on a WallClock")
+	}
+	var (
+		mu   sync.Mutex
+		cond = sync.Cond{L: &mu}
+		// wakeAt dedups backoff wake-up timers.
+		wakeAt time.Duration
+		wg     sync.WaitGroup
+	)
+
+	worker := func() {
+		defer wg.Done()
+		mu.Lock()
+		defer mu.Unlock()
+		for {
+			if p.Idle() {
+				cond.Broadcast()
+				return
+			}
+			now := p.clock.Now()
+			j, earliest := p.next(now)
+			if j == nil {
+				if p.Idle() {
+					// next() can drain the pool itself: shard-budget
+					// backpressure defers pending jobs on sight, and the
+					// last deferral may leave nobody to broadcast.
+					cond.Broadcast()
+					return
+				}
+				if earliest > now && (wakeAt <= now || earliest < wakeAt) {
+					wakeAt = earliest
+					time.AfterFunc(earliest-now, func() {
+						mu.Lock()
+						cond.Broadcast()
+						mu.Unlock()
+					})
+				}
+				cond.Wait()
+				continue
+			}
+			p.dispatch(j, now)
+			mu.Unlock()
+			if work != nil {
+				work(j.Candidate)
+			}
+			mu.Lock()
+			p.commit(j, p.clock.Now())
+			cond.Broadcast()
+		}
+	}
+
+	for i := 0; i < p.cfg.Workers; i++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+	return p.finalize()
+}
