@@ -10,6 +10,15 @@
 // commit retry against live writers, and sharded GBHr budgets — and each
 // cycle also prints makespan, utilization, queue depth, and
 // conflict/retry/backpressure counts.
+//
+// With -incremental the observe phase is commit-event-driven instead of
+// full-scan: table commits publish to a changefeed, only dirty tables
+// are re-observed (clean tables answer from a version-keyed stats
+// cache), and each cycle prints how many tables were scanned versus the
+// fleet size. Pair it with -write-frac < 1 to model a fleet where most
+// tables are cold on any given day — the regime where incremental
+// observation collapses per-cycle observe cost from O(fleet) to
+// O(dirty).
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"log"
 	"time"
 
+	"autocomp/internal/changefeed"
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
 	"autocomp/internal/maintenance"
@@ -40,12 +50,17 @@ func main() {
 	shards := flag.Int("shards", 4, "GBHr budget shards for the execution plane")
 	shardBudget := flag.Float64("shard-budget-tbhr", 0, "per-shard per-cycle budget (TBHr, 0 = unlimited)")
 	writerRate := flag.Float64("writer-rate", 30, "live writer commits/hour racing the compactor (scheduled mode)")
+	incremental := flag.Bool("incremental", false, "commit-event-driven observation: re-observe only dirty tables")
+	writeFrac := flag.Float64("write-frac", 1, "per-table probability of writing on a given day, in (0,1); values outside that range (including 0) mean every table writes daily")
+	triggerCommits := flag.Int64("trigger-commits", 1, "commits before a table turns dirty (incremental mode; 1 preserves full-scan decision parity)")
+	reconcileEvery := flag.Int("reconcile-every", 0, "full-scan reconciliation every N cycles (incremental mode, 0 = never)")
 	flag.Parse()
 
 	clock := sim.NewClock()
 	cfg := fleet.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.InitialTables = *tables
+	cfg.DailyWriteProb = *writeFrac
 	f := fleet.New(cfg, clock)
 	model := fleet.DefaultModel(512 * storage.MB)
 
@@ -53,43 +68,41 @@ func main() {
 	if *k > 0 {
 		selector = core.TopK{K: *k}
 	}
-	var svc *core.Service
-	var err error
-	if *unified {
-		svc, err = f.MaintenanceService(selector, model, maintenance.Policy{
+
+	var ccfg core.Config
+	switch {
+	case *unified:
+		ccfg = f.MaintenanceConfig(selector, model, maintenance.Policy{
 			RetainSnapshots:         *retainSnapshots,
 			CheckpointEveryVersions: *checkpointEvery,
 			MinManifestSurplus:      8,
 		})
-	} else {
-		svc, err = f.Service(selector, model)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !*unified && !*quotaAdaptive {
-		// Rebuild with static weights via the generic facade config.
+	case *quotaAdaptive:
+		ccfg = f.ServiceConfig(selector, model)
+	default:
+		// Data-only with static weights instead of the quota-adaptive
+		// production weighting.
+		ccfg = f.ServiceConfig(selector, model)
 		cost := core.ComputeCost{
 			ExecutorMemoryGB:    model.ExecutorMemoryGB,
 			RewriteBytesPerHour: model.RewriteBytesPerHour,
 		}
-		svc, err = core.NewService(core.Config{
-			Connector:    fleet.Connector{Fleet: f},
-			Generator:    core.TableScopeGenerator{},
-			Observer:     fleet.Observer{Fleet: f},
-			StatsFilters: []core.Filter{core.MinSmallFiles{Min: 2}},
-			Traits:       []core.Trait{core.FileCountReduction{}, cost},
-			Ranker: core.MOOPRanker{Objectives: []core.Objective{
-				{Trait: core.FileCountReduction{}, Weight: 0.7},
-				{Trait: cost, Weight: 0.3},
-			}},
-			Selector:  selector,
-			Scheduler: core.SequentialScheduler{},
-			Runner:    fleet.Runner{Fleet: f, Model: model},
+		ccfg.Ranker = core.MOOPRanker{Objectives: []core.Objective{
+			{Trait: core.FileCountReduction{}, Weight: 0.7},
+			{Trait: cost, Weight: 0.3},
+		}}
+	}
+
+	var feed *changefeed.Feed
+	if *incremental {
+		ccfg, feed = f.IncrementalConfig(ccfg, fleet.IncrOptions{
+			Trigger:        changefeed.TriggerPolicy{EveryCommits: *triggerCommits},
+			ReconcileEvery: *reconcileEvery,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	}
+	svc, err := core.NewService(ccfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var sched *fleet.ScheduledService
@@ -108,6 +121,11 @@ func main() {
 		fmt.Printf("execution plane: %d workers over %d shards (writer rate %.0f commits/h)\n",
 			*workers, *shards, *writerRate)
 	}
+	if feed != nil {
+		fmt.Printf("observation plane: incremental (trigger every %d commits, reconcile every %d cycles, write-frac %.2f)\n",
+			*triggerCommits, *reconcileEvery, *writeFrac)
+	}
+	var prevCache changefeed.CacheCounters
 	for d := 1; d <= *days; d++ {
 		f.AdvanceDay()
 		var (
@@ -135,6 +153,19 @@ func main() {
 				stats.Makespan.Round(time.Second), 100*stats.Utilization(),
 				stats.MaxQueueDepth, stats.MeanQueueDepth,
 				stats.Conflicts, stats.Retries, stats.Deferred)
+		}
+		if feed != nil {
+			scan := feed.LastScan()
+			cc := feed.Cache.Counters()
+			mode := "dirty-only"
+			if scan.Full {
+				mode = "full-scan"
+			}
+			fmt.Printf("         incr:  scanned=%4d/%d tables (%s)  pool=%4d  observes=%4d cache-hits=%4d  dirty-now=%d\n",
+				scan.Scanned, f.TableCount(), mode, scan.Pool,
+				cc.Misses-prevCache.Misses, cc.Hits-prevCache.Hits,
+				feed.Tracker.DirtyCount())
+			prevCache = cc
 		}
 	}
 }

@@ -41,6 +41,16 @@ type TablePolicies struct {
 	// Intermediate marks scratch tables that filters may exclude from
 	// compaction (§4.1's usage-aware filtering).
 	Intermediate bool
+
+	// TriggerEveryCommits is the incremental observation plane's
+	// commit-count trigger for this table: how many commits accumulate
+	// before the table enters the dirty set for re-observation. 0 falls
+	// back to the feed's default (every commit preserves full-scan
+	// decision parity; higher values observe lazily).
+	TriggerEveryCommits int64
+	// TriggerBytesWritten, when positive, also fires the trigger once
+	// this many bytes accumulate since the last observation.
+	TriggerBytesWritten int64
 }
 
 // DefaultPolicies returns the control plane's default table policies.
@@ -68,6 +78,13 @@ type ControlPlane struct {
 	dbs   map[string]*Database
 	// tables is keyed by database name, then table name.
 	tables map[string]map[string]*entry
+	// commitHook, when set, is installed on every table (existing and
+	// future) so the lake publishes one changefeed.
+	commitHook lst.CommitHook
+	// dropHook, when set, is notified after DropTable removes a table,
+	// so changefeed consumers forget it (dirty state, cached stats,
+	// retained candidates).
+	dropHook func(db, name string)
 }
 
 // New returns a control plane over the given storage, driven by clock.
@@ -137,8 +154,26 @@ func (cp *ControlPlane) CreateTableWithPolicies(db string, cfg lst.TableConfig, 
 	if err != nil {
 		return nil, err
 	}
+	if cp.commitHook != nil {
+		t.SetCommitHook(cp.commitHook)
+	}
 	ts[cfg.Name] = &entry{table: t, policies: pol}
 	return t, nil
+}
+
+// SetCommitHook installs h on every table in the lake — existing tables
+// immediately, future tables at creation — so one changefeed observes
+// all commits. The changefeed package's AttachCatalog wires a commit bus
+// here.
+func (cp *ControlPlane) SetCommitHook(h lst.CommitHook) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.commitHook = h
+	for _, ts := range cp.tables {
+		for _, e := range ts {
+			e.table.SetCommitHook(h)
+		}
+	}
 }
 
 // Table looks up a table.
@@ -231,24 +266,56 @@ func (cp *ControlPlane) TableCount() int {
 }
 
 // DropTable unregisters a table and deletes all of its storage objects.
+// Once the table is unregistered its commit hook is detached (a stale
+// handle can no longer publish) and the drop hook, when set, is
+// notified — even when a storage deletion fails, so the changefeed
+// never keeps a phantom table the catalog no longer knows.
 func (cp *ControlPlane) DropTable(db, name string) error {
+	dropped, err := cp.dropTable(db, name)
+	if dropped == nil {
+		return err
+	}
+	dropped.SetCommitHook(nil)
+	cp.mu.Lock()
+	hook := cp.dropHook
+	cp.mu.Unlock()
+	if hook != nil {
+		hook(db, name)
+	}
+	return err
+}
+
+// dropTable is the locked body of DropTable. A non-nil table means the
+// table was unregistered, even if deleting its storage objects failed
+// (the error is returned alongside).
+func (cp *ControlPlane) dropTable(db, name string) (*lst.Table, error) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	ts, ok := cp.tables[db]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+		return nil, fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
 	}
-	if _, ok := ts[name]; !ok {
-		return fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
+	e, ok := ts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
 	}
 	delete(ts, name)
 	prefix := fmt.Sprintf("/%s/%s/", db, name)
+	var firstErr error
 	for _, obj := range cp.fs.List(prefix) {
-		if err := cp.fs.Delete(obj.Path); err != nil {
-			return err
+		if err := cp.fs.Delete(obj.Path); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return e.table, firstErr
+}
+
+// SetDropHook installs h to be notified after every DropTable. The
+// changefeed package's AttachCatalog publishes Dropped events here.
+func (cp *ControlPlane) SetDropHook(h func(db, name string)) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.dropHook = h
 }
 
 // QuotaUtilization returns Used/Total for a database's namespace quota, or

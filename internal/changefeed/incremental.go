@@ -1,0 +1,243 @@
+package changefeed
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"autocomp/internal/core"
+)
+
+// Feed bundles one lake's incremental-observation state: the commit
+// bus, the dirty-set tracker, the stats cache, and the retained
+// candidate pool the incremental generator re-emits for clean tables.
+// Build one with NewFeed, attach publishers to Feed.Bus, and wrap a
+// service's connector/generator/observer with Connector, Generator, and
+// Observer — the core pipeline then runs unmodified.
+type Feed struct {
+	// Bus receives commit events; the tracker and cache are subscribed.
+	Bus *Bus
+	// Tracker owns the dirty set.
+	Tracker *Tracker
+	// Cache holds version-keyed observations.
+	Cache *StatsCache
+
+	// ReconcileEvery runs a full enumeration every Nth cycle as a
+	// safety net for missed events (a publisher detached, an event
+	// dropped): every table is re-listed, re-generated, and — where the
+	// cache was invalidated or the version moved — re-observed.
+	// 0 disables reconciliation (cold-start full scan still happens).
+	ReconcileEvery int
+
+	mu    sync.Mutex
+	cycle int64
+	// full marks the current cycle as a full enumeration.
+	full bool
+	// scanned is the table list served to the generator this cycle.
+	scanned []core.Table
+	// retained maps table full name → the candidates emitted at the
+	// table's last (re)generation; clean tables re-enter the pool from
+	// here with stats served by the cache.
+	retained map[string][]*core.Candidate
+	lastPool int
+}
+
+// NewFeed builds a feed: a fresh bus with the tracker (using policy;
+// nil = every commit) and cache invalidation subscribed, and the given
+// reconciliation interval.
+func NewFeed(policy PolicyFunc, reconcileEvery int) *Feed {
+	f := &Feed{
+		Bus:            NewBus(),
+		Tracker:        NewTracker(policy),
+		Cache:          NewStatsCache(),
+		ReconcileEvery: reconcileEvery,
+		retained:       make(map[string][]*core.Candidate),
+	}
+	f.Bus.Subscribe(f.Tracker.HandleEvent)
+	f.Bus.Subscribe(func(e Event) {
+		if e.Dropped {
+			f.Cache.Drop(e.Table)
+			f.mu.Lock()
+			delete(f.retained, e.Table)
+			f.mu.Unlock()
+			return
+		}
+		f.Cache.InvalidateTable(e.Table)
+	})
+	return f
+}
+
+// Connector wraps full so Tables() serves only the dirty set between
+// reconciling full scans. Use together with Generator on the same feed:
+// the pair shares per-cycle state and must be called in lockstep, which
+// core.Service.Decide does.
+func (f *Feed) Connector(full core.Connector) *IncrementalConnector {
+	return &IncrementalConnector{feed: f, Full: full}
+}
+
+// Generator wraps inner so Candidates() regenerates only the tables the
+// connector served this cycle and re-emits retained candidates for the
+// rest.
+func (f *Feed) Generator(inner core.Generator) *IncrementalGenerator {
+	return &IncrementalGenerator{feed: f, Inner: inner}
+}
+
+// Observer wraps inner in a CachingObserver over the feed's cache.
+// refresh must mirror the clock- and quota-dependent fields inner sets
+// (see CachingObserver.Refresh).
+func (f *Feed) Observer(inner core.Observer, refresh func(*core.Candidate, *core.Stats)) CachingObserver {
+	return CachingObserver{Inner: inner, Cache: f.Cache, Refresh: refresh}
+}
+
+// beginCycle starts an observation cycle: a full enumeration at cold
+// start and every ReconcileEvery-th cycle, the dirty set otherwise.
+func (f *Feed) beginCycle(full core.Connector) []core.Table {
+	f.mu.Lock()
+	f.cycle++
+	coldStart := len(f.retained) == 0 && f.cycle == 1
+	doFull := coldStart ||
+		(f.ReconcileEvery > 0 && f.cycle%int64(f.ReconcileEvery) == 0)
+	f.full = doFull
+	f.mu.Unlock()
+
+	var ts []core.Table
+	if doFull {
+		ts = full.Tables()
+		// The full scan observes everything: register refs, reset
+		// pending accumulation, consume outstanding dirty flags, and
+		// forget tables the authoritative enumeration no longer lists —
+		// in the tracker and in the cache.
+		f.Tracker.NoteFullScan(ts)
+		keep := make(map[string]struct{}, len(ts))
+		for _, t := range ts {
+			keep[t.FullName()] = struct{}{}
+		}
+		f.Cache.RetainOnly(keep)
+	} else {
+		ts = f.Tracker.TakeDirty()
+	}
+	f.mu.Lock()
+	f.scanned = ts
+	f.mu.Unlock()
+	return ts
+}
+
+// ScanInfo describes the feed's most recent observation cycle.
+type ScanInfo struct {
+	// Cycle is the 1-based cycle counter.
+	Cycle int64
+	// Full reports whether the cycle was a full enumeration.
+	Full bool
+	// Scanned is how many tables were served to the generator.
+	Scanned int
+	// Pool is the candidate-pool size the generator emitted.
+	Pool int
+}
+
+// LastScan returns a snapshot of the most recent cycle.
+func (f *Feed) LastScan() ScanInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return ScanInfo{Cycle: f.cycle, Full: f.full, Scanned: len(f.scanned), Pool: f.lastPool}
+}
+
+// ScannedNames returns the full names of the tables served in the most
+// recent cycle, sorted (for logging and the runnable example).
+func (f *Feed) ScannedNames() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.scanned))
+	for i, t := range f.scanned {
+		out[i] = t.FullName()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IncrementalConnector serves the dirty set instead of the whole lake.
+// Quota and clock queries pass through to the full connector.
+type IncrementalConnector struct {
+	feed *Feed
+	// Full is the wrapped whole-lake connector, consulted for full
+	// enumerations (cold start, reconciliation) and passthrough queries.
+	Full core.Connector
+}
+
+// Tables implements core.Connector: the dirty tables mid-stream, the
+// full enumeration at cold start and on reconcile cycles.
+func (c *IncrementalConnector) Tables() []core.Table {
+	return c.feed.beginCycle(c.Full)
+}
+
+// QuotaUtilization implements core.Connector.
+func (c *IncrementalConnector) QuotaUtilization(db string) float64 {
+	return c.Full.QuotaUtilization(db)
+}
+
+// Now implements core.Connector.
+func (c *IncrementalConnector) Now() time.Duration { return c.Full.Now() }
+
+// IncrementalGenerator regenerates candidates only for the tables the
+// connector served this cycle, re-emitting every other table's retained
+// candidates unchanged. With a state-deterministic inner generator this
+// keeps the emitted pool set-equal to a full scan's (see the package
+// doc for the exact parity conditions).
+type IncrementalGenerator struct {
+	feed *Feed
+	// Inner is the wrapped whole-lake generator.
+	Inner core.Generator
+}
+
+// Name implements core.Generator.
+func (g *IncrementalGenerator) Name() string { return "incremental(" + g.Inner.Name() + ")" }
+
+// Candidates implements core.Generator. tables must be the list the
+// paired IncrementalConnector returned this cycle.
+func (g *IncrementalGenerator) Candidates(tables []core.Table) []*core.Candidate {
+	fresh := g.Inner.Candidates(tables)
+	f := g.feed
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	if f.full {
+		// Full rebuild: the retained pool becomes exactly this scan's
+		// output; entries of dropped tables vanish with the old map.
+		f.retained = make(map[string][]*core.Candidate, len(tables))
+		for _, c := range fresh {
+			name := c.Table.FullName()
+			f.retained[name] = append(f.retained[name], c)
+		}
+		f.lastPool = len(fresh)
+		return fresh
+	}
+
+	// Replace the regenerated tables' entries (a table whose state no
+	// longer yields candidates drops out), keep the rest.
+	for _, t := range tables {
+		delete(f.retained, t.FullName())
+	}
+	for _, c := range fresh {
+		name := c.Table.FullName()
+		f.retained[name] = append(f.retained[name], c)
+	}
+	out := make([]*core.Candidate, 0, len(fresh))
+	for _, cs := range f.retained {
+		out = append(out, cs...)
+	}
+	// Deterministic pool order; ranking is order-independent (score
+	// plus ID tie-break), so this only stabilizes logs and tests.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	f.lastPool = len(out)
+	return out
+}
+
+// RetainedCount returns how many candidates the feed currently retains.
+func (f *Feed) RetainedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, cs := range f.retained {
+		n += len(cs)
+	}
+	return n
+}

@@ -77,6 +77,7 @@ const (
 	ActionManifestRewrite
 )
 
+// String renders the action type's kebab-case name.
 func (a ActionType) String() string {
 	switch a {
 	case ActionDataCompaction:
@@ -114,6 +115,7 @@ const (
 	ScopeSnapshot
 )
 
+// String renders the scope's name.
 func (s Scope) String() string {
 	switch s {
 	case ScopeTable:

@@ -28,8 +28,8 @@ func runQuick(t *testing.T, id string) Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"est", "fig1", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b",
-		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "maint", "sched",
-		"table1",
+		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "incr", "maint",
+		"sched", "table1",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -390,5 +390,36 @@ func TestRendersContainHeaders(t *testing.T) {
 		if !strings.Contains(res.Render(), pair[1]) {
 			t.Fatalf("%s render missing %q:\n%s", pair[0], pair[1], res.Render())
 		}
+	}
+}
+
+func TestIncrementalShape(t *testing.T) {
+	res := runQuick(t, "incr").(IncrResult)
+	if len(res.Samples) != 3 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		// Decision parity: the incremental plane selects the exact plans
+		// the full scan does, cycle by cycle.
+		if !s.PlansMatch {
+			t.Fatalf("%d tables: selected plans diverged from full scan", s.Tables)
+		}
+		// Observe cost collapses from O(fleet) to O(dirty).
+		if s.IncrObserves >= s.FullObserves {
+			t.Fatalf("%d tables: incr observes %.0f >= full %.0f",
+				s.Tables, s.IncrObserves, s.FullObserves)
+		}
+	}
+	// Full-scan cost grows with fleet size...
+	if res.Samples[2].FullObserves <= res.Samples[0].FullObserves*2 {
+		t.Fatalf("full observes do not track fleet size: %.0f vs %.0f",
+			res.Samples[0].FullObserves, res.Samples[2].FullObserves)
+	}
+	// ...while the incremental plane observes a large factor less at the
+	// largest point (the acceptance bar is 10x at 100k tables on the
+	// full configuration; the scaled-down quick sweep clears 5x).
+	last := res.Samples[len(res.Samples)-1]
+	if last.Ratio < 5 {
+		t.Fatalf("observe ratio at %d tables = %.1fx, want >= 5x", last.Tables, last.Ratio)
 	}
 }

@@ -146,14 +146,18 @@ func (r Runner) CompactTable(t *Table) compaction.Result {
 	// Apply: drain the two small buckets proportionally, credit the
 	// full bucket.
 	drainFrac := float64(mergeable) / float64(small)
+	var drained int64
 	for b := 0; b < 2; b++ {
 		dc := int64(float64(t.counts[b]) * drainFrac)
 		db := int64(float64(t.bytes[b]) * drainFrac)
 		t.counts[b] -= dc
 		t.bytes[b] -= db
+		drained += dc
 	}
 	t.counts[BucketFull] += outFiles
 	t.bytes[BucketFull] += mergeBytes
+	t.fleet.addDBFiles(t.db, outFiles-drained)
+	t.fleet.publish(t, 0, 0, true)
 
 	res.FilesRemoved = int(mergeable)
 	res.FilesAdded = int(outFiles)
@@ -208,15 +212,16 @@ func (f *Fleet) MostFragmented(k int) []*Table {
 	return sorted[:k]
 }
 
-// Service builds a ready-to-run AutoComp service over the fleet with the
-// production configuration of §7: table scope, ΔF + GBHr traits under
-// quota-adaptive MOOP weights, and the given selector.
-func (f *Fleet) Service(selector core.Selector, model CompactionModel) (*core.Service, error) {
+// ServiceConfig returns the core configuration Service builds: table
+// scope, ΔF + GBHr traits under quota-adaptive MOOP weights, and the
+// given selector. Callers may wrap components (counting observers, the
+// incremental observation plane) before constructing the service.
+func (f *Fleet) ServiceConfig(selector core.Selector, model CompactionModel) core.Config {
 	cost := core.ComputeCost{
 		ExecutorMemoryGB:    model.ExecutorMemoryGB,
 		RewriteBytesPerHour: model.RewriteBytesPerHour,
 	}
-	return core.NewService(core.Config{
+	return core.Config{
 		Connector:    Connector{Fleet: f},
 		Generator:    core.TableScopeGenerator{},
 		Observer:     Observer{Fleet: f},
@@ -232,21 +237,26 @@ func (f *Fleet) Service(selector core.Selector, model CompactionModel) (*core.Se
 		Selector:  selector,
 		Scheduler: core.SequentialScheduler{},
 		Runner:    Runner{Fleet: f, Model: model},
-	})
+	}
 }
 
-// MaintenanceService builds the unified maintenance pipeline over the
-// fleet: data compaction, snapshot expiry, metadata checkpointing, and
-// manifest rewriting as one candidate pool, ranked by a three-objective
-// MOOP (ΔF, ΔM, GBHr) and selected under the same budget — no separate
-// scheduler loop for metadata work.
-func (f *Fleet) MaintenanceService(selector core.Selector, model CompactionModel, pol maintenance.Policy) (*core.Service, error) {
+// Service builds a ready-to-run AutoComp service over the fleet with the
+// production configuration of §7: table scope, ΔF + GBHr traits under
+// quota-adaptive MOOP weights, and the given selector.
+func (f *Fleet) Service(selector core.Selector, model CompactionModel) (*core.Service, error) {
+	return core.NewService(f.ServiceConfig(selector, model))
+}
+
+// MaintenanceConfig returns the core configuration MaintenanceService
+// builds. Callers may wrap components (counting observers, the
+// incremental observation plane) before constructing the service.
+func (f *Fleet) MaintenanceConfig(selector core.Selector, model CompactionModel, pol maintenance.Policy) core.Config {
 	cost := core.ComputeCost{
 		ExecutorMemoryGB:    model.ExecutorMemoryGB,
 		RewriteBytesPerHour: model.RewriteBytesPerHour,
 	}
 	pols := maintenance.StaticPolicies{Policy: pol}
-	return core.NewService(core.Config{
+	return core.Config{
 		Connector: Connector{Fleet: f},
 		Generator: maintenance.Generator{Data: core.TableScopeGenerator{}, Policies: pols},
 		Observer:  maintenance.Observer{Base: Observer{Fleet: f}, Policies: pols, Now: f.clock.Now},
@@ -268,5 +278,14 @@ func (f *Fleet) MaintenanceService(selector core.Selector, model CompactionModel
 			ExecutorMemoryGB:    model.ExecutorMemoryGB,
 			RewriteBytesPerHour: model.RewriteBytesPerHour,
 		},
-	})
+	}
+}
+
+// MaintenanceService builds the unified maintenance pipeline over the
+// fleet: data compaction, snapshot expiry, metadata checkpointing, and
+// manifest rewriting as one candidate pool, ranked by a three-objective
+// MOOP (ΔF, ΔM, GBHr) and selected under the same budget — no separate
+// scheduler loop for metadata work.
+func (f *Fleet) MaintenanceService(selector core.Selector, model CompactionModel, pol maintenance.Policy) (*core.Service, error) {
+	return core.NewService(f.MaintenanceConfig(selector, model, pol))
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"autocomp/internal/changefeed"
 	"autocomp/internal/lst"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
@@ -133,16 +134,20 @@ func (t *Table) Version() int64 { return t.commits }
 // WriterCommit applies one live writer commit of n small files at
 // sub-day granularity — the writer side of the §4.4 writer-vs-compactor
 // race. It advances the snapshot version, so compaction jobs in flight on
-// this table will fail their optimistic commit check and retry.
+// this table will fail their optimistic commit check and retry. The
+// commit publishes an event on the fleet's changefeed when one is
+// attached.
 func (t *Table) WriterCommit(n int64) {
 	if n < 0 {
 		n = 0
 	}
 	t.counts[BucketTiny] += n
 	t.bytes[BucketTiny] += n * t.avgNewFile
+	t.fleet.addDBFiles(t.db, n)
 	t.lastWrite = t.fleet.clock.Now()
 	t.writes++
 	t.commitMetadata(1)
+	t.fleet.publish(t, 1, n*t.avgNewFile, false)
 }
 
 // Created implements core.Table.
@@ -271,6 +276,7 @@ func (t *Table) ExpireSnapshots(keepLast int) (int, error) {
 		t.metaBytes = 0
 	}
 	t.snapshots = int64(keepLast)
+	t.fleet.publish(t, 0, 0, true)
 	return int(removedM + removedJ), nil
 }
 
@@ -301,6 +307,7 @@ func (t *Table) Checkpoint() (lst.MaintenanceResult, error) {
 	t.checkpoints = 1
 	t.metaBytes = avgMetadataJSONBytes + ckptBytes
 	t.versionsSinceCkpt = 0
+	t.fleet.publish(t, 0, 0, true)
 	return res, nil
 }
 
@@ -324,6 +331,7 @@ func (t *Table) RewriteManifests() (lst.MaintenanceResult, error) {
 		t.metaBytes = 0
 	}
 	t.manifests = consolidated
+	t.fleet.publish(t, 0, 0, true)
 	return res, nil
 }
 
@@ -348,6 +356,13 @@ type Config struct {
 	// tables, and adjust workflows daily, which is what makes manually
 	// curated compaction lists go stale).
 	DailyDriftProb float64
+	// DailyWriteProb is the per-table probability of receiving writes on
+	// a given day. Values outside (0, 1) — including the zero value —
+	// mean every table writes every day (the original organic-growth
+	// model). Sparse rates (e.g. 0.01) model fleets where most tables
+	// are cold on any given day, the regime where incremental
+	// observation pays off.
+	DailyWriteProb float64
 }
 
 // DefaultConfig mirrors the paper's deployment shape, scaled to simulate
@@ -372,6 +387,15 @@ type Fleet struct {
 	rng    *sim.RNG
 	tables []*Table
 
+	// dbFiles caches per-database data-file counts so quota utilization
+	// is O(1) per lookup instead of a fleet scan — at 100k tables a
+	// per-candidate fleet scan would make the observe phase quadratic.
+	dbFiles map[string]int64
+
+	// bus, when attached, receives one event per table commit batch —
+	// the fleet side of the incremental observation plane.
+	bus *changefeed.Bus
+
 	// openCalls accumulates modeled HDFS open() RPCs on data files
 	// (Fig 11b); metaOpenCalls counts the planning-time opens of
 	// metadata objects separately so the metadata-maintenance
@@ -379,6 +403,31 @@ type Fleet struct {
 	openCalls     int64
 	metaOpenCalls int64
 	day           int
+}
+
+// AttachChangefeed publishes the fleet's commits (writer commits, daily
+// organic growth, onboarding, and maintenance actions) to bus.
+func (f *Fleet) AttachChangefeed(bus *changefeed.Bus) { f.bus = bus }
+
+// publish emits one commit event when a changefeed is attached.
+func (f *Fleet) publish(t *Table, commits, bytes int64, maintenance bool) {
+	if f.bus == nil {
+		return
+	}
+	f.bus.Publish(changefeed.Event{
+		Table:       t.FullName(),
+		Ref:         t,
+		Version:     t.commits,
+		Commits:     commits,
+		Bytes:       bytes,
+		At:          f.clock.Now(),
+		Maintenance: maintenance,
+	})
+}
+
+// addDBFiles folds a data-file count delta into the per-database cache.
+func (f *Fleet) addDBFiles(db string, delta int64) {
+	f.dbFiles[db] += delta
 }
 
 // New builds a fleet at day 0.
@@ -395,7 +444,12 @@ func New(cfg Config, clock *sim.Clock) *Fleet {
 	if cfg.InitialTinyFraction <= 0 {
 		cfg.InitialTinyFraction = 0.83
 	}
-	f := &Fleet{cfg: cfg, clock: clock, rng: sim.NewRNG(cfg.Seed)}
+	f := &Fleet{
+		cfg:     cfg,
+		clock:   clock,
+		rng:     sim.NewRNG(cfg.Seed),
+		dbFiles: make(map[string]int64),
+	}
 	for i := 0; i < cfg.InitialTables; i++ {
 		f.onboard()
 	}
@@ -448,6 +502,11 @@ func (f *Fleet) onboard() *Table {
 	// 50 files, each leaving a metadata.json version and a manifest.
 	t.commitMetadata(files/50 + 1)
 	f.tables = append(f.tables, t)
+	f.addDBFiles(t.db, files)
+	// Onboarding is the table's first appearance on the changefeed, so
+	// an incremental observer discovers it without waiting for a
+	// reconciling full scan.
+	f.publish(t, t.commits, t.TotalBytes(), false)
 	return t
 }
 
@@ -516,30 +575,30 @@ func (f *Fleet) SmallFileFraction() float64 {
 }
 
 // QuotaUtilization implements the connector quota lookup: files of a
-// tenant over its quota.
+// tenant over its quota. It reads the per-database cache maintained at
+// every file-count mutation, so it is O(1) — the observe phase calls it
+// once per candidate, and a fleet scan here would make fleet-scale
+// observation quadratic.
 func (f *Fleet) QuotaUtilization(db string) float64 {
 	if f.cfg.QuotaObjectsPerDB <= 0 {
 		return 0
 	}
-	var used int64
-	for _, t := range f.tables {
-		if t.db == db {
-			used += t.counts[0] + t.counts[1] + t.counts[2]
-		}
-	}
-	u := float64(used) / float64(f.cfg.QuotaObjectsPerDB)
+	u := float64(f.dbFiles[db]) / float64(f.cfg.QuotaObjectsPerDB)
 	if u > 1 {
 		u = 1
 	}
 	return u
 }
 
-// AdvanceDay applies one day of organic dynamics: every table accretes
-// small files from its writers; write behaviour drifts as users adjust
-// workflows; new tables onboard at the configured monthly rate.
+// AdvanceDay applies one day of organic dynamics: tables accrete small
+// files from their writers (every table, or a DailyWriteProb-sized
+// fraction); write behaviour drifts as users adjust workflows; new
+// tables onboard at the configured monthly rate. Each table's day of
+// writes publishes one batched changefeed event.
 func (f *Fleet) AdvanceDay() {
 	f.day++
 	f.clock.Advance(24 * time.Hour)
+	sparse := f.cfg.DailyWriteProb > 0 && f.cfg.DailyWriteProb < 1
 	for _, t := range f.tables {
 		if f.cfg.DailyDriftProb > 0 && f.rng.Bernoulli(f.cfg.DailyDriftProb) {
 			// The owning pipeline changed: a quiet table may become a
@@ -549,17 +608,23 @@ func (f *Fleet) AdvanceDay() {
 				t.growthPerDay = 5000
 			}
 		}
+		if sparse && !f.rng.Bernoulli(f.cfg.DailyWriteProb) {
+			continue
+		}
 		n := int64(f.rng.Jitter(t.growthPerDay, 0.5))
 		if n <= 0 {
 			continue
 		}
 		t.counts[BucketTiny] += n
 		t.bytes[BucketTiny] += n * t.avgNewFile
+		f.addDBFiles(t.db, n)
 		t.lastWrite = f.clock.Now()
 		t.writes++
 		// The day's files land in batched commits (~20 files each), each
 		// leaving per-commit metadata behind (cause iv).
-		t.commitMetadata(1 + n/20)
+		commits := 1 + n/20
+		t.commitMetadata(commits)
+		f.publish(t, commits, n*t.avgNewFile, false)
 	}
 	// Onboarding: TablesPerMonth spread across 30 days.
 	newTables := f.cfg.TablesPerMonth / 30

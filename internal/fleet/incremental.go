@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"autocomp/internal/changefeed"
+	"autocomp/internal/core"
+	"autocomp/internal/maintenance"
+)
+
+// IncrOptions parameterizes the incremental observation plane over a
+// fleet.
+type IncrOptions struct {
+	// Trigger is the per-table trigger policy (zero value = every
+	// commit, which preserves full-scan decision parity).
+	Trigger changefeed.TriggerPolicy
+	// ReconcileEvery runs a reconciling full scan every Nth cycle to
+	// catch missed events (0 = cold-start full scan only).
+	ReconcileEvery int
+}
+
+// IncrementalConfig wires a fresh changefeed into cfg: the connector
+// serves the dirty set, the generator retains clean tables' candidates,
+// and the observer answers from the version-keyed cache. It attaches
+// the feed's bus to the fleet; any fleet-built core.Config (data-only,
+// unified, custom weights) can be incrementalized this way.
+func (f *Fleet) IncrementalConfig(cfg core.Config, opts IncrOptions) (core.Config, *changefeed.Feed) {
+	feed := changefeed.NewFeed(changefeed.StaticTriggers(opts.Trigger), opts.ReconcileEvery)
+	f.AttachChangefeed(feed.Bus)
+	cfg.Connector = feed.Connector(cfg.Connector)
+	cfg.Generator = feed.Generator(cfg.Generator)
+	cfg.Observer = feed.Observer(cfg.Observer, f.statsRefresher())
+	// Terminal conflicts leave the table unmaintained without a state
+	// change, so no commit event re-dirties it; reconsider it next
+	// cycle anyway. (Successful maintenance publishes its own event.)
+	// Feedback runs on every driver — the serial act phase and the
+	// scheduled execution plane both fold their results into a report —
+	// so this is the single conflict-redirty mechanism.
+	cfg.OnReport = append(cfg.OnReport, func(rep *core.Report) {
+		for _, cr := range rep.Results {
+			if cr.Result.Conflict {
+				feed.Tracker.Redirty(cr.Candidate.Table.FullName())
+			}
+		}
+	})
+	return cfg, feed
+}
+
+// statsRefresher mirrors the clock- and quota-dependent fields the
+// fleet's observers set, so a cache hit is byte-identical to a fresh
+// observation: fleet.Observer derives TableAge/SinceLastWrite from the
+// clock and QuotaUtilization from the tenant's (shared, mutable) quota;
+// maintenance.Observer sets the ages but never the quota.
+func (f *Fleet) statsRefresher() func(*core.Candidate, *core.Stats) {
+	return func(c *core.Candidate, s *core.Stats) {
+		now := f.clock.Now()
+		s.TableAge = now - c.Table.Created()
+		s.SinceLastWrite = now - c.Table.LastWrite()
+		if c.Action == core.ActionDataCompaction {
+			s.QuotaUtilization = f.QuotaUtilization(c.Table.Database())
+		}
+	}
+}
+
+// IncrementalService builds the data-compaction pipeline of Service
+// with the incremental observation plane attached: candidate discovery
+// is driven by the fleet's commit events instead of full-fleet scans.
+func (f *Fleet) IncrementalService(selector core.Selector, model CompactionModel, opts IncrOptions) (*core.Service, *changefeed.Feed, error) {
+	cfg, feed := f.IncrementalConfig(f.ServiceConfig(selector, model), opts)
+	svc, err := core.NewService(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, feed, nil
+}
+
+// IncrementalMaintenanceService builds the unified maintenance pipeline
+// of MaintenanceService with the incremental observation plane
+// attached. With an every-commit trigger the selected plans are
+// byte-identical to MaintenanceService's per seed, while only dirty
+// tables are re-observed (see the changefeed package doc for the parity
+// conditions).
+func (f *Fleet) IncrementalMaintenanceService(selector core.Selector, model CompactionModel, pol maintenance.Policy, opts IncrOptions) (*core.Service, *changefeed.Feed, error) {
+	cfg, feed := f.IncrementalConfig(f.MaintenanceConfig(selector, model, pol), opts)
+	svc, err := core.NewService(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, feed, nil
+}

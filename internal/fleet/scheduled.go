@@ -95,6 +95,10 @@ func (s *ScheduledService) RunCycle() (*core.Report, scheduler.Stats, error) {
 	sub := sim.NewClock()
 	sub.Set(s.fleet.clock.Now())
 	q := sim.NewEventQueue(sub)
+	// Incremental-mode bookkeeping (conflict re-dirty, maintenance
+	// events) flows through the changefeed and the service's OnReport
+	// hooks, which s.svc.Feedback runs below — the pool needs no
+	// per-job observer here.
 	pool := scheduler.New(scheduler.Config{
 		Workers:         s.opts.Workers,
 		Shards:          s.opts.Shards,

@@ -57,6 +57,60 @@ type Table struct {
 	// lastCheckpointVersion is the table version the newest checkpoint
 	// covers, or -1 when the table has never been checkpointed.
 	lastCheckpointVersion int64
+
+	// onCommit, when set, observes every successful state change
+	// (transaction commits and maintenance operations).
+	onCommit CommitHook
+}
+
+// CommitEvent describes one committed state change on a table, delivered
+// to the table's commit hook outside the table lock.
+type CommitEvent struct {
+	// Table is the changed table.
+	Table *Table
+	// Version is the metadata version after the change.
+	Version int64
+	// Snapshot is the committed snapshot for write transactions; nil for
+	// maintenance operations (expiry, checkpoint, manifest rewrite),
+	// which mutate the metadata layer without adding a snapshot.
+	Snapshot *Snapshot
+	// At is the virtual time of the change.
+	At time.Duration
+	// Maintenance marks metadata-maintenance operations.
+	Maintenance bool
+}
+
+// CommitHook observes successful commits and maintenance operations. It
+// runs on the committing goroutine, after the table lock is released, so
+// it may call back into the table's accessors; it must not block.
+type CommitHook func(CommitEvent)
+
+// SetCommitHook installs h as the table's commit hook (nil detaches).
+// The changefeed observation plane attaches here.
+func (t *Table) SetCommitHook(h CommitHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onCommit = h
+}
+
+// commitHook returns the installed hook.
+func (t *Table) commitHook() CommitHook {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.onCommit
+}
+
+// emitMaintenance publishes a maintenance CommitEvent for the table's
+// current version. Callers must not hold t.mu.
+func (t *Table) emitMaintenance() {
+	h := t.commitHook()
+	if h == nil {
+		return
+	}
+	t.mu.Lock()
+	e := CommitEvent{Table: t, Version: t.version, At: t.clock.Now(), Maintenance: true}
+	t.mu.Unlock()
+	h(e)
 }
 
 // metaKind classifies a metadata object.
@@ -445,8 +499,17 @@ func (t *Table) writeManifestsLocked(snapID int64, changed int) (int, error) {
 // objects deleted. Data files are deleted eagerly at commit time in this
 // simulator (orphan cleanup is assumed immediate; see DESIGN.md §2), so
 // expiration only reclaims metadata. Checkpoint objects survive: they
-// describe live state, not history.
+// describe live state, not history. An expiry that reclaimed anything
+// publishes a maintenance CommitEvent to the table's commit hook.
 func (t *Table) ExpireSnapshots(keepLast int) (int, error) {
+	n, err := t.expireSnapshots(keepLast)
+	if err == nil && n > 0 {
+		t.emitMaintenance()
+	}
+	return n, err
+}
+
+func (t *Table) expireSnapshots(keepLast int) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if keepLast < 1 {
@@ -542,8 +605,18 @@ func (r MaintenanceResult) Reduction() int { return r.ObjectsRemoved - r.Objects
 // current metadata.json survives alongside the checkpoint (it is the
 // commit anchor new writers validate against), so a freshly checkpointed
 // table holds exactly two metadata objects. Subsequent commits append new
-// metadata.json versions and manifests after the checkpoint as usual.
+// metadata.json versions and manifests after the checkpoint as usual. A
+// checkpoint that collapsed anything publishes a maintenance CommitEvent
+// to the table's commit hook.
 func (t *Table) Checkpoint() (MaintenanceResult, error) {
+	res, err := t.checkpoint()
+	if err == nil && !res.Skipped {
+		t.emitMaintenance()
+	}
+	return res, err
+}
+
+func (t *Table) checkpoint() (MaintenanceResult, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var res MaintenanceResult
@@ -595,8 +668,18 @@ func (t *Table) Checkpoint() (MaintenanceResult, error) {
 // number that holds the live file entries at full density (Iceberg's
 // rewrite_manifests action). Unlike Checkpoint it leaves the metadata.json
 // version history untouched, so it is the cheaper action when only
-// manifest count — not log length — is the problem.
+// manifest count — not log length — is the problem. A rewrite that
+// consolidated anything publishes a maintenance CommitEvent to the
+// table's commit hook.
 func (t *Table) RewriteManifests() (MaintenanceResult, error) {
+	res, err := t.rewriteManifests()
+	if err == nil && !res.Skipped {
+		t.emitMaintenance()
+	}
+	return res, err
+}
+
+func (t *Table) rewriteManifests() (MaintenanceResult, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var res MaintenanceResult

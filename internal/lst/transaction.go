@@ -76,7 +76,28 @@ func (tx *Transaction) partitions() []string {
 // leave the table unchanged; the caller may retry with a fresh
 // transaction. Storage-level failures (e.g. namespace quota exhaustion)
 // are returned as-is.
+//
+// A successful commit publishes a CommitEvent to the table's commit hook
+// (SetCommitHook), outside the table lock — the observation plane's
+// changefeed subscribes there.
 func (tx *Transaction) Commit() (*Snapshot, error) {
+	snap, err := tx.commit()
+	if err != nil {
+		return nil, err
+	}
+	if h := tx.t.commitHook(); h != nil {
+		h(CommitEvent{
+			Table:    tx.t,
+			Version:  snap.Sequence,
+			Snapshot: snap,
+			At:       snap.Timestamp,
+		})
+	}
+	return snap, nil
+}
+
+// commit is the locked body of Commit.
+func (tx *Transaction) commit() (*Snapshot, error) {
 	if tx.done {
 		return nil, ErrTransactionDone
 	}

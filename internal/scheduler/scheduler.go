@@ -100,16 +100,34 @@ type Config struct {
 	// DefaultExecutorMemoryGB.
 	ServiceTime func(*core.Candidate) time.Duration
 
+	// OnTerminal, when set, is called each time a job reaches a terminal
+	// state (done, conflicted, deferred, failed). Deployments that drive
+	// the pool directly (RunReal, custom drivers) use it to settle
+	// per-job bookkeeping as it happens — e.g. re-dirtying a conflicted
+	// table in the incremental observation plane's tracker without
+	// waiting for a report fold. It runs inside the pool's
+	// synchronization domain (under the driver lock on the real path)
+	// and must not call back into the pool.
+	OnTerminal func(*Job)
+
 	// Seed drives the deterministic backoff jitter.
 	Seed int64
 }
 
 // Defaults.
 const (
+	// DefaultMaxAttempts is the retry budget when Config.MaxAttempts is
+	// unset.
 	DefaultMaxAttempts = 4
-	DefaultRetryBase   = 30 * time.Second
-	DefaultRetryMax    = 8 * time.Minute
-	DefaultAgingRate   = 1.0
+	// DefaultRetryBase is the first backoff window when Config.RetryBase
+	// is unset.
+	DefaultRetryBase = 30 * time.Second
+	// DefaultRetryMax caps the exponential backoff when Config.RetryMax
+	// is unset.
+	DefaultRetryMax = 8 * time.Minute
+	// DefaultAgingRate is the priority points a queued job gains per
+	// hour when Config.AgingRatePerHour is unset.
+	DefaultAgingRate = 1.0
 	// DefaultExecutorMemoryGB prices service times from the
 	// compute_cost_gbhr trait when no ServiceTime is configured.
 	DefaultExecutorMemoryGB = 64.0
@@ -168,8 +186,11 @@ type Status int
 // Job states. Queued and Running are transient; the rest are terminal
 // for the cycle.
 const (
+	// StatusQueued means the job awaits dispatch (or a backoff window).
 	StatusQueued Status = iota
+	// StatusRunning means the job occupies a worker slot.
 	StatusRunning
+	// StatusDone means the job committed (or its runner skipped it).
 	StatusDone
 	// StatusConflicted means the job exhausted its attempts on commit
 	// conflicts.
@@ -177,9 +198,11 @@ const (
 	// StatusDeferred means the job's shard ran out of budget mid-cycle
 	// (backpressure): it never ran and should re-enter next cycle.
 	StatusDeferred
+	// StatusFailed means the runner reported an error.
 	StatusFailed
 )
 
+// String renders the status name.
 func (s Status) String() string {
 	switch s {
 	case StatusQueued:
@@ -433,7 +456,7 @@ func (p *Pool) next(now time.Duration) (j *Job, earliestReady time.Duration) {
 			// Deferral is a terminal outcome: it closes the makespan
 			// window like any other finish (a retried job can be
 			// deferred after the last successful commit).
-			p.noteFinish(now)
+			p.noteFinish(cand, now)
 			continue
 		}
 		if cand.readyAt > now {
@@ -553,7 +576,7 @@ func (p *Pool) commit(j *Job, now time.Duration) bool {
 					ConflictCount: j.Attempts,
 					GBHr:          j.wastedGBHr,
 				}
-				p.noteFinish(now)
+				p.noteFinish(j, now)
 				return true
 			}
 			p.stats.Retries++
@@ -586,13 +609,18 @@ func (p *Pool) commit(j *Job, now time.Duration) bool {
 		j.Status = StatusDone
 		p.stats.Done++
 	}
-	p.noteFinish(now)
+	p.noteFinish(j, now)
 	return true
 }
 
-func (p *Pool) noteFinish(now time.Duration) {
+// noteFinish records a terminal transition: it closes the makespan
+// window and notifies the terminal-state observer.
+func (p *Pool) noteFinish(j *Job, now time.Duration) {
 	if now > p.lastFinish {
 		p.lastFinish = now
+	}
+	if p.cfg.OnTerminal != nil {
+		p.cfg.OnTerminal(j)
 	}
 }
 

@@ -587,3 +587,33 @@ func TestRealConflictRetry(t *testing.T) {
 		t.Fatalf("attempts = %d", p.Jobs()[0].Attempts)
 	}
 }
+
+func TestOnTerminalObservesEveryOutcome(t *testing.T) {
+	// One job succeeds; one conflicts terminally (a writer advances its
+	// table before every commit). OnTerminal must see both settle.
+	quiet := &memTable{name: "quiet"}
+	hot := &memTable{name: "hot"}
+	got := map[string]Status{}
+	cfg := Config{
+		Workers:     2,
+		MaxAttempts: 2,
+		RetryBase:   time.Second,
+		OnTerminal: func(j *Job) {
+			got[j.Candidate.Table.FullName()] = j.Status
+		},
+	}
+	p, q := newSimPool(cfg, okRunner(1))
+	p.Submit([]*core.Candidate{cand(quiet, 1), cand(hot, 1)})
+	// Advance the hot table past the staleness bound on every attempt.
+	writer := func() { hot.version.Add(1) }
+	q.ScheduleAfter(30*time.Minute, writer)
+	q.ScheduleAfter(90*time.Minute, writer)
+	RunSim(p, q)
+
+	if got["db.quiet"] != StatusDone {
+		t.Fatalf("quiet outcome = %v, want done", got["db.quiet"])
+	}
+	if got["db.hot"] != StatusConflicted {
+		t.Fatalf("hot outcome = %v, want conflicted", got["db.hot"])
+	}
+}
