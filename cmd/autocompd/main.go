@@ -2,23 +2,30 @@
 // pull deployment) over a simulated lake: a fleet of tables accretes
 // small files (and per-commit metadata) while the service wakes on its
 // schedule, decides, and maintains within its budget, printing one line
-// per cycle with a per-action breakdown. In unified mode (the default)
-// snapshot expiry, metadata checkpointing, and manifest rewriting rank
-// against data compaction in one MOOP under the same budget selector.
-// With -workers > 0 (the default) the act phase runs on the concurrent
-// execution plane — a worker pool with per-table leases, optimistic
-// commit retry against live writers, and sharded GBHr budgets — and each
-// cycle also prints makespan, utilization, queue depth, and
-// conflict/retry/backpressure counts.
+// per cycle with a per-action breakdown.
 //
-// With -incremental the observe phase is commit-event-driven instead of
-// full-scan: table commits publish to a changefeed, only dirty tables
-// are re-observed (clean tables answer from a version-keyed stats
-// cache), and each cycle prints how many tables were scanned versus the
-// fleet size. Pair it with -write-frac < 1 to model a fleet where most
-// tables are cold on any given day — the regime where incremental
-// observation collapses per-cycle observe cost from O(fleet) to
-// O(dirty).
+// The pipeline is policy-driven: the daemon compiles a declarative
+// policy spec (internal/policy) into its observe→decide→act
+// configuration. Without -policy the spec is assembled from the flags
+// (unified maintenance with an 8-worker execution plane by default);
+// with -policy file.json the spec comes from the file and the knob
+// flags (-k, -budget-tbhr, -workers, -shards, -shard-budget-tbhr,
+// -incremental, -trigger-commits, -reconcile-every, -retain-snapshots,
+// -checkpoint-every) act as overrides when set explicitly — the
+// structural flags (-unified, -quota-adaptive) do not apply to a file
+// and are reported as ignored. The
+// policy file is hot-reloadable: between cycles the daemon re-reads it,
+// and a valid edit atomically replaces the running pipeline without a
+// restart (an invalid edit is reported once and the old policy stays in
+// force).
+//
+// Spec sections map to planes: a "trigger" section makes observation
+// commit-event-driven (only dirty tables are re-observed); an
+// "execution" section runs the act phase on the concurrent worker pool
+// with per-table leases, optimistic commit retry, and sharded GBHr
+// budgets; a "maintenance" section ranks snapshot expiry, metadata
+// checkpointing, and manifest rewriting against data compaction in one
+// MOOP under the same budget.
 package main
 
 import (
@@ -30,8 +37,7 @@ import (
 	"autocomp/internal/changefeed"
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
-	"autocomp/internal/maintenance"
-	"autocomp/internal/scheduler"
+	"autocomp/internal/policy"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
@@ -40,6 +46,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	tables := flag.Int("tables", 1000, "fleet size")
 	days := flag.Int("days", 14, "days to simulate (one cycle per day)")
+	policyPath := flag.String("policy", "", "policy spec file (JSON); pipeline flags become overrides and the file hot-reloads between cycles")
 	k := flag.Int("k", 0, "fixed top-k selection (0 = use budget)")
 	budgetTBHr := flag.Float64("budget-tbhr", 50, "per-cycle compute budget (TBHr)")
 	quotaAdaptive := flag.Bool("quota-adaptive", true, "use quota-adaptive MOOP weights (data-only mode)")
@@ -56,6 +63,9 @@ func main() {
 	reconcileEvery := flag.Int("reconcile-every", 0, "full-scan reconciliation every N cycles (incremental mode, 0 = never)")
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
 	clock := sim.NewClock()
 	cfg := fleet.DefaultConfig()
 	cfg.Seed = *seed
@@ -64,80 +74,105 @@ func main() {
 	f := fleet.New(cfg, clock)
 	model := fleet.DefaultModel(512 * storage.MB)
 
-	var selector core.Selector = core.BudgetSelector{BudgetGBHr: *budgetTBHr * 1024}
-	if *k > 0 {
-		selector = core.TopK{K: *k}
-	}
-
-	var ccfg core.Config
-	switch {
-	case *unified:
-		ccfg = f.MaintenanceConfig(selector, model, maintenance.Policy{
-			RetainSnapshots:         *retainSnapshots,
-			CheckpointEveryVersions: *checkpointEvery,
-			MinManifestSurplus:      8,
-		})
-	case *quotaAdaptive:
-		ccfg = f.ServiceConfig(selector, model)
-	default:
-		// Data-only with static weights instead of the quota-adaptive
-		// production weighting.
-		ccfg = f.ServiceConfig(selector, model)
-		cost := core.ComputeCost{
-			ExecutorMemoryGB:    model.ExecutorMemoryGB,
-			RewriteBytesPerHour: model.RewriteBytesPerHour,
+	// flagSpec assembles the spec the flags describe — the same pipeline
+	// the daemon always ran, now expressed as policy data.
+	flagSpec := func() *policy.Spec {
+		var sp *policy.Spec
+		if *unified {
+			sp = policy.DefaultSpec()
+			sp.Maintenance.RetainSnapshots = *retainSnapshots
+			sp.Maintenance.CheckpointEveryVersions = *checkpointEvery
+		} else {
+			sp = policy.DefaultDataSpec(*quotaAdaptive)
 		}
-		ccfg.Ranker = core.MOOPRanker{Objectives: []core.Objective{
-			{Trait: core.FileCountReduction{}, Weight: 0.7},
-			{Trait: cost, Weight: 0.3},
-		}}
+		sp.Execution = nil
+		sp.Selector = nil
+		sp.Trigger = nil
+		applyFlagOverrides(sp, map[string]bool{
+			"k": true, "budget-tbhr": true, "workers": true, "shards": true,
+			"shard-budget-tbhr": true, "incremental": true,
+			"trigger-commits": *incremental, "reconcile-every": *incremental,
+		}, *k, *budgetTBHr, *workers, *shards, *shardBudget,
+			*incremental, *triggerCommits, *reconcileEvery, 0, 0)
+		return sp
 	}
 
-	var feed *changefeed.Feed
-	if *incremental {
-		ccfg, feed = f.IncrementalConfig(ccfg, fleet.IncrOptions{
-			Trigger:        changefeed.TriggerPolicy{EveryCommits: *triggerCommits},
-			ReconcileEvery: *reconcileEvery,
+	// Load the policy: from file (flags layered on top) or from flags.
+	var watcher *policy.Watcher
+	var spec *policy.Spec
+	var err error
+	if *policyPath != "" {
+		// Structural flags choose which built-in spec the flags assemble;
+		// a policy file already states the pipeline's structure, so they
+		// cannot act as overrides on it.
+		for _, structural := range []string{"unified", "quota-adaptive"} {
+			if set[structural] {
+				fmt.Printf("autocompd: -%s has no effect with -policy (the file defines the pipeline structure)\n", structural)
+			}
+		}
+		watcher, spec, err = policy.NewWatcher(*policyPath, f.PolicyEnv(model))
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = spec.Clone()
+		applyFlagOverrides(spec, set, *k, *budgetTBHr, *workers, *shards,
+			*shardBudget, *incremental, *triggerCommits, *reconcileEvery,
+			*retainSnapshots, *checkpointEvery)
+	} else {
+		spec = flagSpec()
+	}
+
+	build := func(sp *policy.Spec) (*fleet.SpecService, error) {
+		return f.ServiceFromSpec(sp, model, fleet.SpecRunOptions{
+			WriterCommitsPerHour: *writerRate,
 		})
 	}
-	svc, err := core.NewService(ccfg)
+	svc, err := build(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var sched *fleet.ScheduledService
-	if *workers > 0 {
-		sched = f.ScheduleService(svc, model, fleet.SchedOptions{
-			Workers:              *workers,
-			Shards:               *shards,
-			ShardBudgetGBHr:      *shardBudget * 1024,
-			WriterCommitsPerHour: *writerRate,
-		})
+	name := spec.Name
+	if name == "" {
+		name = "(unnamed)"
 	}
-
 	fmt.Printf("autocompd: %d tables, %d files, %d metadata objects, %.0f%% under 128MB\n",
 		f.TableCount(), f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
-	if sched != nil {
-		fmt.Printf("execution plane: %d workers over %d shards (writer rate %.0f commits/h)\n",
-			*workers, *shards, *writerRate)
-	}
-	if feed != nil {
-		fmt.Printf("observation plane: incremental (trigger every %d commits, reconcile every %d cycles, write-frac %.2f)\n",
-			*triggerCommits, *reconcileEvery, *writeFrac)
-	}
+	fmt.Printf("policy: %s%s\n", name, map[bool]string{true: " (from " + *policyPath + ", hot-reloadable)", false: " (from flags)"}[*policyPath != ""])
+	printPlanes(svc)
+
 	var prevCache changefeed.CacheCounters
 	for d := 1; d <= *days; d++ {
-		f.AdvanceDay()
-		var (
-			rep   *core.Report
-			stats scheduler.Stats
-			err   error
-		)
-		if sched != nil {
-			rep, stats, err = sched.RunCycle()
-		} else {
-			rep, err = svc.RunOnce()
+		// Hot reload: a changed, valid policy file swaps the pipeline in
+		// atomically between cycles; a bad edit keeps the current policy.
+		if watcher != nil {
+			newSpec, changed, err := watcher.Poll()
+			switch {
+			case err != nil:
+				fmt.Printf("policy: reload rejected: %v (keeping %s)\n", err, name)
+			case changed:
+				newSpec = newSpec.Clone()
+				applyFlagOverrides(newSpec, set, *k, *budgetTBHr, *workers, *shards,
+					*shardBudget, *incremental, *triggerCommits, *reconcileEvery,
+					*retainSnapshots, *checkpointEvery)
+				newSvc, err := build(newSpec)
+				if err != nil {
+					fmt.Printf("policy: reload rejected: %v (keeping %s)\n", err, name)
+					break
+				}
+				svc, spec = newSvc, newSpec
+				prevCache = changefeed.CacheCounters{}
+				name = spec.Name
+				if name == "" {
+					name = "(unnamed)"
+				}
+				fmt.Printf("policy: reloaded %s from %s\n", name, *policyPath)
+				printPlanes(svc)
+			}
 		}
+
+		f.AdvanceDay()
+		rep, stats, err := svc.RunCycle()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -148,15 +183,15 @@ func main() {
 			counts[core.ActionDataCompaction], counts[core.ActionSnapshotExpiry],
 			counts[core.ActionMetadataCheckpoint], counts[core.ActionManifestRewrite],
 			f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
-		if sched != nil {
+		if svc.Sched != nil {
 			fmt.Printf("         sched: makespan=%8v util=%3.0f%%  queue[max=%3d mean=%5.1f]  conflicts=%3d retries=%3d deferred=%3d\n",
 				stats.Makespan.Round(time.Second), 100*stats.Utilization(),
 				stats.MaxQueueDepth, stats.MeanQueueDepth,
 				stats.Conflicts, stats.Retries, stats.Deferred)
 		}
-		if feed != nil {
-			scan := feed.LastScan()
-			cc := feed.Cache.Counters()
+		if svc.Feed != nil {
+			scan := svc.Feed.LastScan()
+			cc := svc.Feed.Cache.Counters()
 			mode := "dirty-only"
 			if scan.Full {
 				mode = "full-scan"
@@ -164,8 +199,85 @@ func main() {
 			fmt.Printf("         incr:  scanned=%4d/%d tables (%s)  pool=%4d  observes=%4d cache-hits=%4d  dirty-now=%d\n",
 				scan.Scanned, f.TableCount(), mode, scan.Pool,
 				cc.Misses-prevCache.Misses, cc.Hits-prevCache.Hits,
-				feed.Tracker.DirtyCount())
+				svc.Feed.Tracker.DirtyCount())
 			prevCache = cc
 		}
 	}
+}
+
+// printPlanes reports which planes the compiled policy enabled.
+func printPlanes(svc *fleet.SpecService) {
+	if svc.Sched != nil {
+		sc := svc.Compiled.Sched
+		fmt.Printf("execution plane: %d workers over %d shards\n", sc.Workers, sc.Shards)
+	}
+	if svc.Feed != nil {
+		tr := svc.Compiled.Trigger
+		fmt.Printf("observation plane: incremental (trigger every %d commits, reconcile every %d cycles)\n",
+			tr.EveryCommits, svc.Compiled.ReconcileEvery)
+	}
+}
+
+// applyFlagOverrides layers the explicitly set pipeline flags onto a
+// spec: a -policy file states the intent, flags adjust it for one run.
+func applyFlagOverrides(sp *policy.Spec, set map[string]bool,
+	k int, budgetTBHr float64, workers, shards int, shardBudgetTBHr float64,
+	incremental bool, triggerCommits int64, reconcileEvery int,
+	retainSnapshots int, checkpointEvery int64) {
+
+	if set["k"] && k > 0 {
+		sp.Selector = &policy.Component{Name: "top-k", Params: map[string]any{"k": float64(k)}}
+	} else if set["budget-tbhr"] {
+		sp.Selector = &policy.Component{Name: "budget", Params: map[string]any{"budget_gbhr": budgetTBHr * 1024}}
+	}
+	if set["workers"] {
+		if workers <= 0 {
+			sp.Execution = nil
+		} else {
+			ensureExecution(sp).Workers = workers
+		}
+	}
+	if sp.Execution != nil {
+		if set["shards"] {
+			sp.Execution.Shards = shards
+		}
+		if set["shard-budget-tbhr"] {
+			sp.Execution.ShardBudgetGBHr = shardBudgetTBHr * 1024
+		}
+	}
+	if set["incremental"] {
+		if incremental {
+			ensureTrigger(sp)
+		} else {
+			sp.Trigger = nil
+		}
+	}
+	if set["trigger-commits"] && sp.Trigger != nil {
+		ensureTrigger(sp).EveryCommits = triggerCommits
+	}
+	if set["reconcile-every"] && sp.Trigger != nil {
+		ensureTrigger(sp).ReconcileEvery = reconcileEvery
+	}
+	if sp.Maintenance != nil {
+		if set["retain-snapshots"] {
+			sp.Maintenance.RetainSnapshots = retainSnapshots
+		}
+		if set["checkpoint-every"] {
+			sp.Maintenance.CheckpointEveryVersions = checkpointEvery
+		}
+	}
+}
+
+func ensureExecution(sp *policy.Spec) *policy.ExecutionSpec {
+	if sp.Execution == nil {
+		sp.Execution = &policy.ExecutionSpec{Workers: 8, Shards: 4}
+	}
+	return sp.Execution
+}
+
+func ensureTrigger(sp *policy.Spec) *policy.TriggerSpec {
+	if sp.Trigger == nil {
+		sp.Trigger = &policy.TriggerSpec{EveryCommits: 1}
+	}
+	return sp.Trigger
 }

@@ -5,12 +5,25 @@
 //	                           quotas, and a decide-phase dry run (default)
 //	lakectl [flags] metadata   per-table metadata-object counts/bytes and
 //	                           checkpoint status (the maintenance view)
+//
+// and the policy-plane commands, which need no lake:
+//
+//	lakectl policy validate <spec.json>...   parse, resolve every
+//	                           component, and check parameters/weights
+//	lakectl policy show <spec.json>          operator summary + resolved JSON
+//	lakectl policy diff <a.json> <b.json>    field-wise spec comparison
+//
+// The dry runs compile their pipelines from policy specs (the same
+// declarative plane autocompd runs), bound to the catalog substrate —
+// so per-table policies installed in the control plane layer on top of
+// the spec's own defaults.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"autocomp/internal/bench"
@@ -18,8 +31,8 @@ import (
 	"autocomp/internal/core"
 	"autocomp/internal/engine"
 	"autocomp/internal/lst"
-	"autocomp/internal/maintenance"
 	"autocomp/internal/metrics"
+	"autocomp/internal/policy"
 	"autocomp/internal/storage"
 	"autocomp/internal/workload"
 )
@@ -34,6 +47,11 @@ func main() {
 		cmd = "overview"
 	}
 
+	if cmd == "policy" {
+		policyCmd(flag.Args()[1:])
+		return
+	}
+
 	env := buildLake(*seed, *databases)
 	switch cmd {
 	case "overview":
@@ -41,7 +59,80 @@ func main() {
 	case "metadata":
 		metadataView(env, *top)
 	default:
-		log.Fatalf("lakectl: unknown command %q (have: overview, metadata)", cmd)
+		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy)", cmd)
+	}
+}
+
+// policyCmd serves the policy-plane subcommands.
+func policyCmd(args []string) {
+	if len(args) == 0 {
+		log.Fatal("lakectl policy: need a subcommand (validate, show, diff)")
+	}
+	env := policy.StubEnv()
+	switch args[0] {
+	case "validate":
+		if len(args) < 2 {
+			log.Fatal("lakectl policy validate: need at least one spec file")
+		}
+		failed := false
+		for _, path := range args[1:] {
+			spec, err := policy.LoadFile(path)
+			if err == nil {
+				err = policy.Validate(spec, env)
+			}
+			if err != nil {
+				failed = true
+				fmt.Printf("%s: INVALID\n  %v\n", path, err)
+				continue
+			}
+			name := spec.Name
+			if name == "" {
+				name = "(unnamed)"
+			}
+			fmt.Printf("%s: OK (%s)\n", path, name)
+		}
+		if failed {
+			os.Exit(1)
+		}
+	case "show":
+		if len(args) != 2 {
+			log.Fatal("lakectl policy show: need exactly one spec file")
+		}
+		spec, err := policy.LoadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := policy.Validate(spec, env); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(policy.Describe(spec))
+		b, err := spec.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s", b)
+	case "diff":
+		if len(args) != 3 {
+			log.Fatal("lakectl policy diff: need exactly two spec files")
+		}
+		a, err := policy.LoadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := policy.LoadFile(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		lines := policy.Diff(a, b)
+		if len(lines) == 0 {
+			fmt.Println("specs are identical")
+			return
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	default:
+		log.Fatalf("lakectl policy: unknown subcommand %q (have: validate, show, diff)", args[0])
 	}
 }
 
@@ -105,6 +196,31 @@ func buildLake(seed int64, databases int) *bench.Env {
 	return env
 }
 
+// catalogEnv returns the policy-compilation environment of a lake.
+func catalogEnv(env *bench.Env) policy.Env {
+	return policy.Env{
+		Now:                 env.Clock.Now,
+		TargetFileSize:      env.TargetFileSize,
+		ExecutorMemoryGB:    env.ExecutorMemoryGB(),
+		RewriteBytesPerHour: env.RewriteBytesPerHour(),
+	}
+}
+
+// catalogBindings returns the catalog substrate bindings (decide-only:
+// no runner). The catalog itself is bound so its stored per-database
+// and per-table policies layer on top of the spec.
+func catalogBindings(env *bench.Env) policy.Bindings {
+	return policy.Bindings{
+		Connector: core.CatalogConnector{CP: env.CP},
+		Observer: core.StatsObserver{
+			TargetFileSize: env.TargetFileSize,
+			Quota:          env.CP.QuotaUtilization,
+			Now:            env.Clock.Now,
+		},
+		Catalog: env.CP,
+	}
+}
+
 // overview prints the operator's lake summary plus a decide-phase dry
 // run.
 func overview(env *bench.Env, top int) {
@@ -146,35 +262,20 @@ func overview(env *bench.Env, top int) {
 	}
 	fmt.Println(metrics.RenderTable([]string{"Database", "Quota used"}, qrows))
 
-	// Dry-run of the decide phase.
+	// Dry-run of the decide phase, compiled from a policy spec.
 	fmt.Println("== autocomp dry run (top candidates) ==")
-	cost := core.ComputeCost{
-		ExecutorMemoryGB:    env.ExecutorMemoryGB(),
-		RewriteBytesPerHour: env.RewriteBytesPerHour(),
-	}
-	svc, err := core.NewService(core.Config{
-		Connector: core.CatalogConnector{CP: env.CP},
-		Generator: core.HybridScopeGenerator{},
-		Observer: core.StatsObserver{
-			TargetFileSize: env.TargetFileSize,
-			Quota:          env.CP.QuotaUtilization,
-			Now:            env.Clock.Now,
+	spec := &policy.Spec{
+		Name:         "lakectl-overview",
+		Generators:   []policy.Component{policy.C("hybrid-scope")},
+		StatsFilters: []policy.Component{{Name: "min-small-files", Params: map[string]any{"min": float64(2)}}},
+		Traits:       []policy.Component{policy.C("file_count_reduction"), policy.C("compute_cost_gbhr")},
+		Objectives: []policy.ObjectiveSpec{
+			{Trait: policy.C("file_count_reduction"), Weight: 0.7},
+			{Trait: policy.C("compute_cost_gbhr"), Weight: 0.3},
 		},
-		StatsFilters: []core.Filter{core.MinSmallFiles{Min: 2}},
-		Traits:       []core.Trait{core.FileCountReduction{}, cost},
-		Ranker: core.MOOPRanker{Objectives: []core.Objective{
-			{Trait: core.FileCountReduction{}, Weight: 0.7},
-			{Trait: cost, Weight: 0.3},
-		}},
-		Selector: core.TopK{K: top},
-	})
-	if err != nil {
-		log.Fatal(err)
+		Selector: topKSelector(top),
 	}
-	d, err := svc.Decide()
-	if err != nil {
-		log.Fatal(err)
-	}
+	d := dryRun(env, spec)
 	fmt.Println(d.Explain(top))
 }
 
@@ -217,8 +318,9 @@ func metadataView(env *bench.Env, top int) {
 		totObjects, metrics.FormatBytes(totBytes), lakeObjects,
 		100*float64(totObjects)/float64(lakeObjects))
 
-	// Install an aggressive demo policy so the dry run has work to rank,
-	// then decide without acting.
+	// Install an aggressive demo policy in the catalog — the control
+	// plane's stored policies are the top override layer, so the spec's
+	// own defaults are superseded where the catalog sets a field.
 	for _, db := range env.CP.Databases() {
 		dbTables, err := env.CP.Tables(db)
 		if err != nil {
@@ -232,17 +334,44 @@ func metadataView(env *bench.Env, top int) {
 		}
 	}
 	fmt.Println("== unified maintenance dry run (demo policy: retain 10, checkpoint every 10) ==")
-	svc, err := maintenance.NewCatalogService(env.CP, maintenance.Options{
-		TargetFileSize:      env.TargetFileSize,
-		ExecutorMemoryGB:    env.ExecutorMemoryGB(),
-		RewriteBytesPerHour: env.RewriteBytesPerHour(),
-		Selector:            core.TopK{K: top},
-		DefaultPolicy: maintenance.Policy{
-			RetainSnapshots:         10,
-			CheckpointEveryVersions: 10,
-			MinManifestSurplus:      4,
+	spec := &policy.Spec{
+		Name: "lakectl-metadata",
+		StatsFilters: []policy.Component{
+			{Name: "min-metadata-reduction", Params: map[string]any{"min": float64(1)}},
 		},
-	})
+		Traits: []policy.Component{
+			policy.C("file_count_reduction"), policy.C("metadata_reduction"), policy.C("compute_cost_gbhr"),
+		},
+		Objectives: []policy.ObjectiveSpec{
+			{Trait: policy.C("file_count_reduction"), Weight: 0.5},
+			{Trait: policy.C("metadata_reduction"), Weight: 0.2},
+			{Trait: policy.C("compute_cost_gbhr"), Weight: 0.3},
+		},
+		Selector:    topKSelector(top),
+		Maintenance: &policy.MaintenanceSpec{RetainSnapshots: 10, CheckpointEveryVersions: 10, MinManifestSurplus: 4},
+	}
+	d := dryRun(env, spec)
+	fmt.Println(d.Explain(top))
+}
+
+// topKSelector returns a top-k selector component, or nil (compile
+// default: select-all) when top is not positive — matching the old
+// core.TopK{K: 0} select-all behavior for `-top 0`.
+func topKSelector(top int) *policy.Component {
+	if top < 1 {
+		return nil
+	}
+	return &policy.Component{Name: "top-k", Params: map[string]any{"k": float64(top)}}
+}
+
+// dryRun compiles a spec against the catalog substrate and runs the
+// decide phase only.
+func dryRun(env *bench.Env, spec *policy.Spec) *core.Decision {
+	comp, err := policy.Compile(spec, catalogEnv(env), catalogBindings(env))
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := core.NewService(comp.Core)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -250,5 +379,5 @@ func metadataView(env *bench.Env, top int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(d.Explain(top))
+	return d
 }

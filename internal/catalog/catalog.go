@@ -58,6 +58,28 @@ func DefaultPolicies() TablePolicies {
 	return TablePolicies{RetainSnapshots: 20, CheckpointEveryVersions: 100}
 }
 
+// Overlay returns p with o's set fields (positive values; Intermediate
+// true) overriding — the field-wise merge the layered policy resolution
+// uses, most specific layer last.
+func (p TablePolicies) Overlay(o TablePolicies) TablePolicies {
+	if o.RetainSnapshots > 0 {
+		p.RetainSnapshots = o.RetainSnapshots
+	}
+	if o.CheckpointEveryVersions > 0 {
+		p.CheckpointEveryVersions = o.CheckpointEveryVersions
+	}
+	if o.Intermediate {
+		p.Intermediate = true
+	}
+	if o.TriggerEveryCommits > 0 {
+		p.TriggerEveryCommits = o.TriggerEveryCommits
+	}
+	if o.TriggerBytesWritten > 0 {
+		p.TriggerBytesWritten = o.TriggerBytesWritten
+	}
+	return p
+}
+
 // Database is a tenant namespace holding tables under one storage quota.
 type Database struct {
 	Name   string
@@ -78,6 +100,10 @@ type ControlPlane struct {
 	dbs   map[string]*Database
 	// tables is keyed by database name, then table name.
 	tables map[string]map[string]*entry
+	// dbPolicies holds database-level policy overrides: a layer between
+	// fleet-wide defaults and per-table policies that the policy plane's
+	// layered resolution consults.
+	dbPolicies map[string]TablePolicies
 	// commitHook, when set, is installed on every table (existing and
 	// future) so the lake publishes one changefeed.
 	commitHook lst.CommitHook
@@ -90,10 +116,11 @@ type ControlPlane struct {
 // New returns a control plane over the given storage, driven by clock.
 func New(fs *storage.NameNode, clock *sim.Clock) *ControlPlane {
 	return &ControlPlane{
-		fs:     fs,
-		clock:  clock,
-		dbs:    make(map[string]*Database),
-		tables: make(map[string]map[string]*entry),
+		fs:         fs,
+		clock:      clock,
+		dbs:        make(map[string]*Database),
+		tables:     make(map[string]map[string]*entry),
+		dbPolicies: make(map[string]TablePolicies),
 	}
 }
 
@@ -133,9 +160,13 @@ func (cp *ControlPlane) Databases() []string {
 }
 
 // CreateTable creates a table in db with cfg (cfg.Database is overwritten
-// with db) and default policies.
+// with db) and no explicitly set policies: every field is left zero, so
+// the table inherits database-level overrides and consumer defaults
+// through the layered resolution (EffectivePolicies) instead of pinning
+// a frozen copy of DefaultPolicies that would mask later database-wide
+// changes.
 func (cp *ControlPlane) CreateTable(db string, cfg lst.TableConfig) (*lst.Table, error) {
-	return cp.CreateTableWithPolicies(db, cfg, DefaultPolicies())
+	return cp.CreateTableWithPolicies(db, cfg, TablePolicies{})
 }
 
 // CreateTableWithPolicies creates a table with explicit policies.
@@ -204,6 +235,48 @@ func (cp *ControlPlane) Policies(db, name string) (TablePolicies, error) {
 		return TablePolicies{}, fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
 	}
 	return e.policies, nil
+}
+
+// SetDatabasePolicies installs database-level policy overrides: fields
+// set here apply to every table of the database unless the table's own
+// policies set them (Overlay semantics).
+func (cp *ControlPlane) SetDatabasePolicies(db string, pol TablePolicies) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if _, ok := cp.dbs[db]; !ok {
+		return fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	cp.dbPolicies[db] = pol
+	return nil
+}
+
+// DatabasePolicies returns the database-level policy overrides, when
+// any were installed.
+func (cp *ControlPlane) DatabasePolicies(db string) (TablePolicies, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	pol, ok := cp.dbPolicies[db]
+	return pol, ok
+}
+
+// EffectivePolicies resolves the policies in force for a table:
+// database-level overrides first, then the table's own set fields on
+// top (most specific wins field-wise). Only operator-set fields appear;
+// fields no layer sets stay zero, and consumers apply their own
+// defaults (maintenance.CatalogPolicies.Default, changefeed trigger
+// defaults, DefaultPolicies for retention).
+func (cp *ControlPlane) EffectivePolicies(db, name string) (TablePolicies, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ts, ok := cp.tables[db]
+	if !ok {
+		return TablePolicies{}, fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
+	}
+	e, ok := ts[name]
+	if !ok {
+		return TablePolicies{}, fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
+	}
+	return cp.dbPolicies[db].Overlay(e.policies), nil
 }
 
 // SetPolicies replaces the policies for a table.
@@ -331,24 +404,30 @@ func (cp *ControlPlane) QuotaUtilization(db string) float64 {
 
 // RunRetention is the data service that reconciles snapshot retention
 // policies across the lake; it returns the number of storage objects
-// reclaimed.
+// reclaimed. Retention targets resolve through the policy layers:
+// DefaultPolicies, database-level overrides, then the table's own set
+// fields.
 func (cp *ControlPlane) RunRetention() (int, error) {
 	cp.mu.Lock()
-	entries := make([]*entry, 0, cp.TableCountLocked())
-	for _, ts := range cp.tables {
+	type job struct {
+		table *lst.Table
+		keep  int
+	}
+	jobs := make([]job, 0, cp.TableCountLocked())
+	for db, ts := range cp.tables {
 		for _, e := range ts {
-			entries = append(entries, e)
+			pol := DefaultPolicies().Overlay(cp.dbPolicies[db]).Overlay(e.policies)
+			jobs = append(jobs, job{table: e.table, keep: pol.RetainSnapshots})
 		}
 	}
 	cp.mu.Unlock()
 
 	total := 0
-	for _, e := range entries {
-		keep := e.policies.RetainSnapshots
-		if keep < 1 {
-			keep = 1
+	for _, j := range jobs {
+		if j.keep < 1 {
+			j.keep = 1
 		}
-		n, err := e.table.ExpireSnapshots(keep)
+		n, err := j.table.ExpireSnapshots(j.keep)
 		if err != nil {
 			return total, err
 		}

@@ -192,3 +192,70 @@ func TestDatabasesSorted(t *testing.T) {
 		t.Fatalf("databases = %v", dbs)
 	}
 }
+
+func TestDatabasePolicyLayering(t *testing.T) {
+	cp, _ := newCP()
+	if _, err := cp.CreateDatabase("sales", "t", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Plain CreateTable stores no explicit policies, so the database
+	// layer must show through; a second table sets its own fields.
+	if _, err := cp.CreateTable("sales", lst.TableConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.CreateTableWithPolicies("sales", lst.TableConfig{Name: "b"},
+		TablePolicies{RetainSnapshots: 3, TriggerEveryCommits: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := cp.DatabasePolicies("sales"); ok {
+		t.Fatal("no database policies installed yet")
+	}
+	if err := cp.SetDatabasePolicies("nope", TablePolicies{}); !errors.Is(err, ErrDatabaseNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	dbPol := TablePolicies{RetainSnapshots: 10, CheckpointEveryVersions: 50, TriggerBytesWritten: 4096}
+	if err := cp.SetDatabasePolicies("sales", dbPol); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cp.DatabasePolicies("sales"); !ok || got != dbPol {
+		t.Fatalf("database policies = %+v, %v", got, ok)
+	}
+
+	// Table "a" (all zero): inherits every database-level field.
+	eff, err := cp.EffectivePolicies("sales", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.RetainSnapshots != 10 || eff.CheckpointEveryVersions != 50 || eff.TriggerBytesWritten != 4096 {
+		t.Fatalf("effective a = %+v", eff)
+	}
+	// Table "b": its own set fields win, unset fields inherit.
+	eff, err = cp.EffectivePolicies("sales", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.RetainSnapshots != 3 || eff.TriggerEveryCommits != 7 {
+		t.Fatalf("effective b set fields = %+v", eff)
+	}
+	if eff.CheckpointEveryVersions != 50 || eff.TriggerBytesWritten != 4096 {
+		t.Fatalf("effective b inherited fields = %+v", eff)
+	}
+
+	if _, err := cp.EffectivePolicies("sales", "nope"); !errors.Is(err, ErrTableNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTablePoliciesOverlay(t *testing.T) {
+	base := TablePolicies{RetainSnapshots: 20, CheckpointEveryVersions: 100}
+	over := TablePolicies{RetainSnapshots: 5, Intermediate: true, TriggerEveryCommits: 2}
+	got := base.Overlay(over)
+	want := TablePolicies{
+		RetainSnapshots: 5, CheckpointEveryVersions: 100,
+		Intermediate: true, TriggerEveryCommits: 2,
+	}
+	if got != want {
+		t.Fatalf("overlay = %+v, want %+v", got, want)
+	}
+}

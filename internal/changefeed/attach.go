@@ -40,13 +40,14 @@ func AttachCatalog(bus *Bus, cp *catalog.ControlPlane) {
 	})
 }
 
-// CatalogTriggers builds a PolicyFunc from the control plane's per-table
-// policies: TriggerEveryCommits / TriggerBytesWritten where set, def for
-// unset fields and unknown tables.
+// CatalogTriggers builds a PolicyFunc from the control plane's layered
+// policies (database-level overrides, then per-table fields):
+// TriggerEveryCommits / TriggerBytesWritten where set, def for unset
+// fields and unknown tables.
 func CatalogTriggers(cp *catalog.ControlPlane, def TriggerPolicy) PolicyFunc {
 	return func(t core.Table) TriggerPolicy {
 		out := def
-		pol, err := cp.Policies(t.Database(), t.Name())
+		pol, err := cp.EffectivePolicies(t.Database(), t.Name())
 		if err != nil {
 			return out
 		}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"strings"
 
-	"autocomp/internal/changefeed"
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
 	"autocomp/internal/maintenance"
 	"autocomp/internal/metrics"
+	"autocomp/internal/policy"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
@@ -131,12 +131,19 @@ func RunIncr(seed int64, quick bool) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		incrSvc, feed, err := fIncr.IncrementalMaintenanceService(selector, model, pol, fleet.IncrOptions{
-			Trigger: changefeed.TriggerPolicy{EveryCommits: 1},
-		})
+		// The incremental side is expressed as a policy spec (the
+		// full-scan side stays hand-wired): the experiment's per-cycle
+		// PlansMatch check then doubles as a spec-compiled vs hand-wired
+		// parity assertion.
+		incrSpec := policy.DefaultSpec()
+		incrSpec.Selector = &policy.Component{Name: "top-k", Params: map[string]any{"k": float64(selector.K)}}
+		incrSpec.Execution = nil
+		incrSpec.Trigger = &policy.TriggerSpec{EveryCommits: 1}
+		incrSS, err := fIncr.ServiceFromSpec(incrSpec, model, fleet.SpecRunOptions{})
 		if err != nil {
 			return nil, err
 		}
+		incrSvc, feed := incrSS.Svc, incrSS.Feed
 
 		s := IncrSample{Tables: size, Cycles: cycles, PlansMatch: true}
 		var prevMisses int64

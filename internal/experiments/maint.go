@@ -5,8 +5,8 @@ import (
 
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
-	"autocomp/internal/maintenance"
 	"autocomp/internal/metrics"
+	"autocomp/internal/policy"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
@@ -93,14 +93,17 @@ func (r MaintResult) Render() string {
 
 // RunMaint ages two identical fleets under the same daily compute budget:
 // one running the data-only pipeline, one the unified maintenance
-// pipeline. Both use the same BudgetSelector — metadata actions are not
+// pipeline. Both use the same budget selector — metadata actions are not
 // scheduled by a side loop; they must win budget in the shared ranking.
+// Both pipelines are expressed as policy specs and compiled; decision
+// parity between the spec-compiled and hand-wired constructions is
+// asserted byte-for-byte by the policy-plane tests.
 func RunMaint(seed int64, quick bool) (Result, error) {
 	days, sampleEvery := 360, 60
 	if quick {
 		days, sampleEvery = 90, 15
 	}
-	budget := core.BudgetSelector{BudgetGBHr: 226 * 1024}
+	budget := map[string]any{"budget_gbhr": float64(226 * 1024)}
 	model := fleet.DefaultModel(512 * storage.MB)
 
 	newFleet := func() *fleet.Fleet {
@@ -108,19 +111,21 @@ func RunMaint(seed int64, quick bool) (Result, error) {
 	}
 	dataFleet, unifiedFleet := newFleet(), newFleet()
 
-	dataSvc, err := dataFleet.Service(budget, model)
+	dataSpec := policy.DefaultDataSpec(true)
+	dataSpec.Selector = &policy.Component{Name: "budget", Params: budget}
+	dataSS, err := dataFleet.ServiceFromSpec(dataSpec, model, fleet.SpecRunOptions{})
 	if err != nil {
 		return nil, err
 	}
-	pol := maintenance.Policy{
-		RetainSnapshots:         20,
-		CheckpointEveryVersions: 100,
-		MinManifestSurplus:      8,
-	}
-	unifiedSvc, err := unifiedFleet.MaintenanceService(budget, model, pol)
+	dataSvc := dataSS.Svc
+	unifiedSpec := policy.DefaultSpec()
+	unifiedSpec.Selector = &policy.Component{Name: "budget", Params: budget}
+	unifiedSpec.Execution = nil
+	unifiedSS, err := unifiedFleet.ServiceFromSpec(unifiedSpec, model, fleet.SpecRunOptions{})
 	if err != nil {
 		return nil, err
 	}
+	unifiedSvc := unifiedSS.Svc
 
 	res := MaintResult{}
 	var midDataOnly, midUnified int64

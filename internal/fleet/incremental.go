@@ -12,6 +12,10 @@ type IncrOptions struct {
 	// Trigger is the per-table trigger policy (zero value = every
 	// commit, which preserves full-scan decision parity).
 	Trigger changefeed.TriggerPolicy
+	// Triggers, when set, resolves the trigger policy per table (e.g.
+	// the policy plane's layered source) and takes precedence over
+	// Trigger.
+	Triggers changefeed.PolicyFunc
 	// ReconcileEvery runs a reconciling full scan every Nth cycle to
 	// catch missed events (0 = cold-start full scan only).
 	ReconcileEvery int
@@ -23,7 +27,11 @@ type IncrOptions struct {
 // the feed's bus to the fleet; any fleet-built core.Config (data-only,
 // unified, custom weights) can be incrementalized this way.
 func (f *Fleet) IncrementalConfig(cfg core.Config, opts IncrOptions) (core.Config, *changefeed.Feed) {
-	feed := changefeed.NewFeed(changefeed.StaticTriggers(opts.Trigger), opts.ReconcileEvery)
+	triggers := opts.Triggers
+	if triggers == nil {
+		triggers = changefeed.StaticTriggers(opts.Trigger)
+	}
+	feed := changefeed.NewFeed(triggers, opts.ReconcileEvery)
 	f.AttachChangefeed(feed.Bus)
 	cfg.Connector = feed.Connector(cfg.Connector)
 	cfg.Generator = feed.Generator(cfg.Generator)

@@ -28,6 +28,13 @@ type SchedOptions struct {
 	StalenessBound int64
 	// MaxAttempts bounds per-job retries (0 = scheduler default).
 	MaxAttempts int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// attempts (zero values take the scheduler defaults).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// AgingRatePerHour is the priority points a queued job gains per
+	// hour of waiting (0 = scheduler default, negative disables).
+	AgingRatePerHour float64
 }
 
 // DefaultSchedOptions mirrors a small dedicated compaction cluster: 8
@@ -100,13 +107,16 @@ func (s *ScheduledService) RunCycle() (*core.Report, scheduler.Stats, error) {
 	// hooks, which s.svc.Feedback runs below — the pool needs no
 	// per-job observer here.
 	pool := scheduler.New(scheduler.Config{
-		Workers:         s.opts.Workers,
-		Shards:          s.opts.Shards,
-		ShardBudgetGBHr: s.opts.ShardBudgetGBHr,
-		StalenessBound:  s.opts.StalenessBound,
-		MaxAttempts:     s.opts.MaxAttempts,
-		ServiceTime:     scheduler.EstimatedServiceTime(s.model.ExecutorMemoryGB),
-		Seed:            s.fleet.rng.Int63(),
+		Workers:          s.opts.Workers,
+		Shards:           s.opts.Shards,
+		ShardBudgetGBHr:  s.opts.ShardBudgetGBHr,
+		StalenessBound:   s.opts.StalenessBound,
+		MaxAttempts:      s.opts.MaxAttempts,
+		RetryBase:        s.opts.RetryBase,
+		RetryMax:         s.opts.RetryMax,
+		AgingRatePerHour: s.opts.AgingRatePerHour,
+		ServiceTime:      scheduler.EstimatedServiceTime(s.model.ExecutorMemoryGB),
+		Seed:             s.fleet.rng.Int63(),
 	}, s.svc.Runner(), sub)
 	pool.Submit(dec.Selected)
 

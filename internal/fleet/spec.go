@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"autocomp/internal/changefeed"
+	"autocomp/internal/core"
+	"autocomp/internal/policy"
+	"autocomp/internal/scheduler"
+)
+
+// PolicyEnv returns the policy-compilation environment of this fleet:
+// its clock and the compaction model's pricing constants, so specs can
+// omit model parameters and inherit them.
+func (f *Fleet) PolicyEnv(model CompactionModel) policy.Env {
+	return policy.Env{
+		Now:                 f.clock.Now,
+		TargetFileSize:      model.TargetFileSize,
+		ExecutorMemoryGB:    model.ExecutorMemoryGB,
+		RewriteBytesPerHour: model.RewriteBytesPerHour,
+	}
+}
+
+// PolicyBindings returns the substrate bindings a compiled spec runs
+// against on this fleet: the aggregate-model connector, observer, and
+// runner.
+func (f *Fleet) PolicyBindings(model CompactionModel) policy.Bindings {
+	return policy.Bindings{
+		Connector: Connector{Fleet: f},
+		Observer:  Observer{Fleet: f},
+		Runner:    Runner{Fleet: f, Model: model},
+	}
+}
+
+// SpecRunOptions carries the simulation-side knobs that are not policy
+// (they describe the modeled world, not the pipeline).
+type SpecRunOptions struct {
+	// WriterCommitsPerHour is the fleet-wide rate of live writer commits
+	// racing the compactor during execution windows (0 = quiet lake).
+	WriterCommitsPerHour float64
+}
+
+// SpecService is a pipeline built from a declarative policy spec: the
+// decision service plus whichever planes the spec enabled — the
+// incremental observation feed (trigger section) and the concurrent
+// execution plane (execution section).
+type SpecService struct {
+	// Compiled is the resolved spec.
+	Compiled *policy.Compiled
+	// Svc is the decision pipeline.
+	Svc *core.Service
+	// Feed is the incremental observation plane (nil without a trigger
+	// section).
+	Feed *changefeed.Feed
+	// Sched is the concurrent execution plane (nil without an execution
+	// section; cycles then act serially).
+	Sched *ScheduledService
+}
+
+// ServiceFromSpec compiles a policy spec against this fleet and wires
+// every plane the spec enables. It is the spec-driven equivalent of the
+// hand-wired Service/MaintenanceService/IncrementalService/
+// ScheduledService constructors, and compiling the matching spec
+// produces byte-identical decisions to them.
+func (f *Fleet) ServiceFromSpec(spec *policy.Spec, model CompactionModel, opts SpecRunOptions) (*SpecService, error) {
+	comp, err := policy.Compile(spec, f.PolicyEnv(model), f.PolicyBindings(model))
+	if err != nil {
+		return nil, err
+	}
+	out := &SpecService{Compiled: comp}
+	cfg := comp.Core
+	if comp.Incremental {
+		cfg, out.Feed = f.IncrementalConfig(cfg, IncrOptions{
+			Trigger:        comp.Trigger,
+			Triggers:       comp.Triggers,
+			ReconcileEvery: comp.ReconcileEvery,
+		})
+	} else {
+		// The spec owns the fleet's changefeed attachment: compiling a
+		// non-incremental spec detaches any previously attached feed, so
+		// a hot reload away from incremental mode does not leave a stale
+		// bus consuming (and accounting) every future commit event.
+		f.AttachChangefeed(nil)
+	}
+	svc, err := core.NewService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Svc = svc
+	if comp.HasExecution {
+		out.Sched = f.ScheduleService(svc, model, SchedOptions{
+			Workers:              comp.Sched.Workers,
+			Shards:               comp.Sched.Shards,
+			ShardBudgetGBHr:      comp.Sched.ShardBudgetGBHr,
+			StalenessBound:       comp.Sched.StalenessBound,
+			MaxAttempts:          comp.Sched.MaxAttempts,
+			RetryBase:            comp.Sched.RetryBase,
+			RetryMax:             comp.Sched.RetryMax,
+			AgingRatePerHour:     comp.Sched.AgingRatePerHour,
+			WriterCommitsPerHour: opts.WriterCommitsPerHour,
+		})
+	}
+	return out, nil
+}
+
+// RunCycle performs one OODA cycle on whichever execution plane the
+// spec configured: the worker pool when present (with scheduler stats),
+// the serial act phase otherwise (zero stats).
+func (s *SpecService) RunCycle() (*core.Report, scheduler.Stats, error) {
+	if s.Sched != nil {
+		return s.Sched.RunCycle()
+	}
+	rep, err := s.Svc.RunOnce()
+	return rep, scheduler.Stats{}, err
+}

@@ -70,12 +70,13 @@ type CatalogPolicies struct {
 	Default Policy
 }
 
-// PolicyFor implements PolicySource. Catalog fields left at zero fall
-// back to Default; disabling an action family fleet-wide is done through
-// the Default policy itself.
+// PolicyFor implements PolicySource. It resolves through the catalog's
+// layered policies (database-level overrides, then the table's own set
+// fields); fields left at zero fall back to Default. Disabling an
+// action family fleet-wide is done through the Default policy itself.
 func (c CatalogPolicies) PolicyFor(db, name string) Policy {
 	out := c.Default
-	pol, err := c.CP.Policies(db, name)
+	pol, err := c.CP.EffectivePolicies(db, name)
 	if err != nil {
 		return out
 	}

@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+)
+
+// LoadFile parses a spec from a JSON file (unknown fields rejected).
+func LoadFile(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	s, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Watcher tracks a spec file for atomic between-cycle hot reload: the
+// daemon polls it at a safe point (between OODA cycles), and only a
+// content change that parses AND validates produces a new spec — a bad
+// edit is reported once and the running policy stays in force.
+type Watcher struct {
+	// Path is the watched spec file.
+	Path string
+	// Env validates candidate specs before they are handed out.
+	Env Env
+
+	sum [sha256.Size]byte
+	// readErr dedups read-failure reporting (content failures dedup via
+	// sum; an unreadable file has no content to hash).
+	readErr string
+}
+
+// NewWatcher loads, validates, and starts watching a spec file.
+func NewWatcher(path string, env Env) (*Watcher, *Spec, error) {
+	w := &Watcher{Path: path, Env: env}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("policy: %w", err)
+	}
+	w.sum = sha256.Sum256(b)
+	s, err := Parse(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := Validate(s, env); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return w, s, nil
+}
+
+// Poll re-reads the file. It returns (spec, true, nil) when the content
+// changed to a valid spec, (nil, false, nil) when unchanged, and
+// (nil, false, err) when the file is unreadable or the new content is
+// invalid — each bad revision is reported once (the watcher remembers
+// it and stays on the running policy until the file changes again).
+func (w *Watcher) Poll() (*Spec, bool, error) {
+	b, err := os.ReadFile(w.Path)
+	if err != nil {
+		if msg := err.Error(); msg != w.readErr {
+			w.readErr = msg
+			return nil, false, fmt.Errorf("policy: %w", err)
+		}
+		return nil, false, nil
+	}
+	w.readErr = ""
+	sum := sha256.Sum256(b)
+	if sum == w.sum {
+		return nil, false, nil
+	}
+	w.sum = sum
+	s, err := Parse(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("%s: %w", w.Path, err)
+	}
+	if err := Validate(s, w.Env); err != nil {
+		return nil, false, fmt.Errorf("%s: %w", w.Path, err)
+	}
+	return s, true, nil
+}

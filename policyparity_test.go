@@ -1,0 +1,268 @@
+package autocomp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autocomp/internal/core"
+	"autocomp/internal/fleet"
+	"autocomp/internal/maintenance"
+	"autocomp/internal/policy"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// decisionFingerprint serializes everything a Decide() produced: the
+// funnel counts, every ranked candidate with its score, the selection,
+// and the plan. Two pipelines are decision-equivalent only when these
+// bytes match.
+func decisionFingerprint(d *core.Decision) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%v gen=%d pre=%d stats=%d trait=%d\n",
+		d.At, d.Generated, d.AfterPreFilters, d.AfterStatsFilter, d.AfterTraitFilter)
+	for _, c := range d.Ranked {
+		fmt.Fprintf(&b, "R %s %.15g\n", c.ID(), c.Score)
+	}
+	for _, c := range d.Selected {
+		fmt.Fprintf(&b, "S %s\n", c.ID())
+	}
+	for i, round := range d.Plan {
+		for _, c := range round {
+			fmt.Fprintf(&b, "P%d %s\n", i, c.ID())
+		}
+	}
+	return b.String()
+}
+
+func parityFleetConfig(seed int64) fleet.Config {
+	cfg := fleet.DefaultConfig()
+	cfg.Seed = seed
+	cfg.InitialTables = 300
+	return cfg
+}
+
+// runParity ages two identically seeded fleets — one deciding through
+// the hand-wired service, one through the spec-compiled service — and
+// requires byte-identical decisions every cycle while both act on their
+// own fleet.
+func runParity(t *testing.T, seed int64, days int,
+	handWired func(f *fleet.Fleet, model fleet.CompactionModel) (*core.Service, error),
+	spec func() *policy.Spec) {
+	t.Helper()
+	model := fleet.DefaultModel(512 * storage.MB)
+	fHand := fleet.New(parityFleetConfig(seed), sim.NewClock())
+	fSpec := fleet.New(parityFleetConfig(seed), sim.NewClock())
+
+	hand, err := handWired(fHand, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := fSpec.ServiceFromSpec(spec(), model, fleet.SpecRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for d := 1; d <= days; d++ {
+		fHand.AdvanceDay()
+		fSpec.AdvanceDay()
+		dHand, err := hand.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dSpec, err := ss.Svc.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpHand, fpSpec := decisionFingerprint(dHand), decisionFingerprint(dSpec)
+		if fpHand != fpSpec {
+			t.Fatalf("seed %d day %d: decisions diverge\nhand-wired:\n%s\nspec-compiled:\n%s",
+				seed, d, head(fpHand, 30), head(fpSpec, 30))
+		}
+		if _, err := hand.Act(dHand); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ss.Svc.Act(dSpec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestDefaultSpecFileParity is the acceptance check: the spec compiled
+// from examples/policies/default.json produces byte-identical Decide()
+// output to the hand-wired default pipeline (fleet.MaintenanceConfig
+// with the default policy and the 50 TBHr budget selector) on the same
+// seed, cycle after cycle.
+func TestDefaultSpecFileParity(t *testing.T) {
+	loaded, err := policy.LoadFile(filepath.Join("examples", "policies", "default.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		runParity(t, seed, 6,
+			func(f *fleet.Fleet, model fleet.CompactionModel) (*core.Service, error) {
+				return f.MaintenanceService(
+					core.BudgetSelector{BudgetGBHr: 50 * 1024}, model,
+					maintenance.Policy{
+						RetainSnapshots:         20,
+						CheckpointEveryVersions: 100,
+						MinManifestSurplus:      8,
+					})
+			},
+			func() *policy.Spec { return loaded.Clone() })
+	}
+}
+
+// TestDefaultSpecFileMatchesBuiltin pins the shipped default.json to
+// policy.DefaultSpec(): editing one without the other fails here.
+func TestDefaultSpecFileMatchesBuiltin(t *testing.T) {
+	loaded, err := policy.LoadFile(filepath.Join("examples", "policies", "default.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := policy.Diff(loaded, policy.DefaultSpec()); len(d) != 0 {
+		t.Fatalf("default.json diverges from policy.DefaultSpec():\n%s", strings.Join(d, "\n"))
+	}
+}
+
+// TestDataSpecParity covers the data-only pipeline: the spec form of
+// fleet.ServiceConfig (quota-adaptive MOOP) decides identically to the
+// hand-wired construction.
+func TestDataSpecParity(t *testing.T) {
+	runParity(t, 3, 6,
+		func(f *fleet.Fleet, model fleet.CompactionModel) (*core.Service, error) {
+			return f.Service(core.BudgetSelector{BudgetGBHr: 50 * 1024}, model)
+		},
+		func() *policy.Spec {
+			s := policy.DefaultDataSpec(true)
+			s.Selector = &policy.Component{Name: "budget", Params: map[string]any{"budget_gbhr": float64(50 * 1024)}}
+			return s
+		})
+}
+
+// TestIncrementalSpecParity covers the observation plane: a spec with an
+// every-commit trigger decides identically to the hand-wired
+// incremental maintenance service.
+func TestIncrementalSpecParity(t *testing.T) {
+	model := fleet.DefaultModel(512 * storage.MB)
+	cfg := parityFleetConfig(5)
+	cfg.DailyWriteProb = 0.3
+	fHand := fleet.New(cfg, sim.NewClock())
+	fSpec := fleet.New(cfg, sim.NewClock())
+
+	hand, _, err := fHand.IncrementalMaintenanceService(
+		core.TopK{K: 40}, model, maintenance.DefaultPolicy(), fleet.IncrOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := policy.DefaultSpec()
+	spec.Execution = nil
+	spec.Selector = &policy.Component{Name: "top-k", Params: map[string]any{"k": float64(40)}}
+	spec.Trigger = &policy.TriggerSpec{EveryCommits: 1}
+	ss, err := fSpec.ServiceFromSpec(spec, model, fleet.SpecRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Feed == nil {
+		t.Fatal("trigger section did not enable the observation plane")
+	}
+
+	for d := 1; d <= 6; d++ {
+		fHand.AdvanceDay()
+		fSpec.AdvanceDay()
+		dHand, err := hand.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dSpec, err := ss.Svc.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decisionFingerprint(dHand) != decisionFingerprint(dSpec) {
+			t.Fatalf("day %d: incremental decisions diverge", d)
+		}
+		if _, err := hand.Act(dHand); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ss.Svc.Act(dSpec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHotReloadBetweenCycles exercises the acceptance flow end to end:
+// a running fleet service is rebuilt from an edited spec file between
+// cycles, and the new policy (a tighter selector) takes effect on the
+// next decision.
+func TestHotReloadBetweenCycles(t *testing.T) {
+	model := fleet.DefaultModel(512 * storage.MB)
+	f := fleet.New(parityFleetConfig(2), sim.NewClock())
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.json")
+	writeSpec := func(s *policy.Spec) {
+		b, err := s.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := policy.DefaultSpec()
+	base.Execution = nil
+	writeSpec(base)
+
+	w, spec, err := policy.NewWatcher(path, f.PolicyEnv(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := f.ServiceFromSpec(spec, model, fleet.SpecRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cycle 1 under the budget selector: many tables selected.
+	f.AdvanceDay()
+	rep, _, err := svc.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decision.Selected) <= 2 {
+		t.Fatalf("budget cycle selected %d, want > 2", len(rep.Decision.Selected))
+	}
+
+	// Edit the file between cycles: top-k 2.
+	edited := policy.DefaultSpec()
+	edited.Execution = nil
+	edited.Selector = &policy.Component{Name: "top-k", Params: map[string]any{"k": float64(2)}}
+	writeSpec(edited)
+	newSpec, changed, err := w.Poll()
+	if err != nil || !changed {
+		t.Fatalf("poll = %v, %v", changed, err)
+	}
+	svc, err = f.ServiceFromSpec(newSpec, model, fleet.SpecRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cycle 2 runs under the new policy without restarting anything.
+	f.AdvanceDay()
+	rep, _, err = svc.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decision.Selected) != 2 {
+		t.Fatalf("reloaded cycle selected %d, want 2", len(rep.Decision.Selected))
+	}
+}
