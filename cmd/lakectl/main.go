@@ -13,6 +13,18 @@
 //	lakectl policy show <spec.json>          operator summary + resolved JSON
 //	lakectl policy diff <a.json> <b.json>    field-wise spec comparison
 //
+// and the scenario-engine commands (internal/scenario), which build
+// their own fleet:
+//
+//	lakectl scenario list [dir]              enumerate scenarios (default
+//	                           examples/scenarios)
+//	lakectl scenario validate <s.json>...    schema-check scenario files
+//	lakectl scenario run <s.json>            run and print the canonical
+//	                           trace (byte-stable per scenario+seed)
+//	lakectl scenario diff <a> <b>            compare two traces; each arg
+//	                           is a scenario .json (run now) or a saved
+//	                           .trace file (e.g. a committed golden)
+//
 // The dry runs compile their pipelines from policy specs (the same
 // declarative plane autocompd runs), bound to the catalog substrate —
 // so per-table policies installed in the control plane layer on top of
@@ -24,6 +36,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"autocomp/internal/bench"
@@ -33,6 +47,7 @@ import (
 	"autocomp/internal/lst"
 	"autocomp/internal/metrics"
 	"autocomp/internal/policy"
+	"autocomp/internal/scenario"
 	"autocomp/internal/storage"
 	"autocomp/internal/workload"
 )
@@ -51,6 +66,10 @@ func main() {
 		policyCmd(flag.Args()[1:])
 		return
 	}
+	if cmd == "scenario" {
+		scenarioCmd(flag.Args()[1:])
+		return
+	}
 
 	env := buildLake(*seed, *databases)
 	switch cmd {
@@ -59,8 +78,108 @@ func main() {
 	case "metadata":
 		metadataView(env, *top)
 	default:
-		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy)", cmd)
+		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario)", cmd)
 	}
+}
+
+// scenarioCmd serves the scenario-engine subcommands.
+func scenarioCmd(args []string) {
+	if len(args) == 0 {
+		log.Fatal("lakectl scenario: need a subcommand (list, validate, run, diff)")
+	}
+	switch args[0] {
+	case "list":
+		dir := filepath.Join("examples", "scenarios")
+		if len(args) > 1 {
+			dir = args[1]
+		}
+		specs, err := scenario.LoadDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rows [][]string
+		for _, s := range specs {
+			rows = append(rows, []string{
+				s.Name, fmt.Sprintf("%d", s.Seed), fmt.Sprintf("%d", s.Days),
+				fmt.Sprintf("%d", s.Fleet.InitialTables), s.Description,
+			})
+		}
+		fmt.Println(metrics.RenderTable([]string{"Scenario", "Seed", "Days", "Tables", "Description"}, rows))
+	case "validate":
+		if len(args) < 2 {
+			log.Fatal("lakectl scenario validate: need at least one scenario file")
+		}
+		failed := false
+		for _, path := range args[1:] {
+			spec, err := scenario.LoadFile(path)
+			if err == nil {
+				err = spec.Validate()
+			}
+			if err != nil {
+				failed = true
+				fmt.Printf("%s: INVALID\n  %v\n", path, err)
+				continue
+			}
+			fmt.Printf("%s: OK (%s, %d days)\n", path, spec.Name, spec.Days)
+		}
+		if failed {
+			os.Exit(1)
+		}
+	case "run":
+		if len(args) != 2 {
+			log.Fatal("lakectl scenario run: need exactly one scenario file")
+		}
+		tr, err := runScenarioArg(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(tr)
+	case "diff":
+		if len(args) != 3 {
+			log.Fatal("lakectl scenario diff: need exactly two arguments (scenario .json or saved .trace)")
+		}
+		a, err := traceOf(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := traceOf(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		lines := scenario.DiffTraces(a, b)
+		if len(lines) == 0 {
+			fmt.Println("traces are identical")
+			return
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		os.Exit(1)
+	default:
+		log.Fatalf("lakectl scenario: unknown subcommand %q (have: list, validate, run, diff)", args[0])
+	}
+}
+
+// runScenarioArg runs a scenario file and returns its canonical trace.
+func runScenarioArg(path string) ([]byte, error) {
+	spec, err := scenario.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := scenario.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Marshal(), nil
+}
+
+// traceOf resolves a diff argument: scenario files (.json) run now,
+// anything else is read as a saved trace.
+func traceOf(path string) ([]byte, error) {
+	if strings.HasSuffix(path, ".json") {
+		return runScenarioArg(path)
+	}
+	return os.ReadFile(path)
 }
 
 // policyCmd serves the policy-plane subcommands.

@@ -11,23 +11,18 @@ import (
 	"testing"
 	"time"
 
-	"autocomp/internal/catalog"
-	"autocomp/internal/cluster"
 	"autocomp/internal/core"
 	"autocomp/internal/engine"
 	"autocomp/internal/lst"
+	"autocomp/internal/scenario/testkit"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
 
 func TestQuotaBreachRelievedByCompaction(t *testing.T) {
-	clock := sim.NewClock()
-	rng := sim.NewRNG(3)
-	fs := storage.NewNameNode(storage.DefaultConfig(), clock, rng.Fork())
-	cp := catalog.New(fs, clock)
-	queryCl := cluster.New(cluster.QueryClusterConfig(), clock)
-	compCl := cluster.New(cluster.CompactionClusterConfig(), clock)
-	eng := engine.New(engine.DefaultConfig(), queryCl, fs, clock, rng.Fork())
+	lake := testkit.NewLake(3)
+	clock, fs, cp := lake.Clock, lake.FS, lake.CP
+	compCl, eng := lake.CompactionCluster, lake.Engine
 
 	// A tenant with a tight namespace quota.
 	if _, err := cp.CreateDatabase("tenant", "team", 520); err != nil {
@@ -101,13 +96,9 @@ func TestQuotaBreachRelievedByCompaction(t *testing.T) {
 }
 
 func TestPeriodicServiceKeepsLakeHealthy(t *testing.T) {
-	clock := sim.NewClock()
-	rng := sim.NewRNG(5)
-	fs := storage.NewNameNode(storage.DefaultConfig(), clock, rng.Fork())
-	cp := catalog.New(fs, clock)
-	queryCl := cluster.New(cluster.QueryClusterConfig(), clock)
-	compCl := cluster.New(cluster.CompactionClusterConfig(), clock)
-	eng := engine.New(engine.DefaultConfig(), queryCl, fs, clock, rng.Fork())
+	lake := testkit.NewLake(5)
+	clock, cp := lake.Clock, lake.CP
+	compCl, eng := lake.CompactionCluster, lake.Engine
 	events := sim.NewEventQueue(clock)
 
 	cp.CreateDatabase("db", "team", 0)
@@ -162,13 +153,9 @@ func TestPeriodicServiceKeepsLakeHealthy(t *testing.T) {
 
 func TestDeterministicEndToEnd(t *testing.T) {
 	run := func() (int, float64) {
-		clock := sim.NewClock()
-		rng := sim.NewRNG(11)
-		fs := storage.NewNameNode(storage.DefaultConfig(), clock, rng.Fork())
-		cp := catalog.New(fs, clock)
-		compCl := cluster.New(cluster.CompactionClusterConfig(), clock)
-		queryCl := cluster.New(cluster.QueryClusterConfig(), clock)
-		eng := engine.New(engine.DefaultConfig(), queryCl, fs, clock, rng.Fork())
+		lake := testkit.NewLake(11)
+		clock, cp := lake.Clock, lake.CP
+		compCl, eng := lake.CompactionCluster, lake.Engine
 		cp.CreateDatabase("db", "t", 0)
 		for i := 0; i < 5; i++ {
 			tbl, _ := cp.CreateTable("db", lst.TableConfig{Name: "t" + string(rune('a'+i))})

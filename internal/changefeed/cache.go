@@ -164,6 +164,26 @@ func (sc *StatsCache) RetainOnly(keep map[string]struct{}) {
 	}
 }
 
+// MaxVersions returns, per cached table, the highest version any of its
+// entries carries — the invariant surface scenario harnesses audit: a
+// cached version beyond the table's live version would mean the cache is
+// serving observations from a state the table never reached.
+func (sc *StatsCache) MaxVersions() map[string]int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make(map[string]int64, len(sc.tables))
+	for name, m := range sc.tables {
+		var max int64 = -1
+		for _, e := range m {
+			if e.version > max {
+				max = e.version
+			}
+		}
+		out[name] = max
+	}
+	return out
+}
+
 // Counters returns a snapshot of the cache accounting.
 func (sc *StatsCache) Counters() CacheCounters {
 	sc.mu.Lock()

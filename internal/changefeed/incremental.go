@@ -241,3 +241,18 @@ func (f *Feed) RetainedCount() int {
 	}
 	return n
 }
+
+// RetainedTables returns the sorted full names of the tables whose
+// candidates the feed currently retains — the invariant surface scenario
+// harnesses audit (a retained candidate must never reference a table
+// that left the lake).
+func (f *Feed) RetainedTables() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.retained))
+	for name := range f.retained {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

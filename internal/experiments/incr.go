@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
 	"autocomp/internal/maintenance"
 	"autocomp/internal/metrics"
 	"autocomp/internal/policy"
+	"autocomp/internal/scenario/testkit"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
@@ -87,15 +87,6 @@ func (o countingObserver) Observe(c *core.Candidate) (core.Stats, error) {
 	return o.inner.Observe(c)
 }
 
-// planID flattens a selected plan into a comparable string.
-func planID(d *core.Decision) string {
-	ids := make([]string, len(d.Selected))
-	for i, c := range d.Selected {
-		ids[i] = c.ID()
-	}
-	return strings.Join(ids, ",")
-}
-
 // RunIncr ages two identically seeded fleets per size point — one under
 // the full-scan pipeline, one under the incremental observation plane
 // with an every-commit trigger — acting on both each cycle, and
@@ -160,7 +151,7 @@ func RunIncr(seed int64, quick bool) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if planID(dFull) != planID(dIncr) {
+			if testkit.PlanID(dFull) != testkit.PlanID(dIncr) {
 				s.PlansMatch = false
 			}
 			if _, err := fullSvc.Act(dFull); err != nil {

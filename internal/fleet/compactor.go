@@ -166,7 +166,7 @@ func (r Runner) CompactTable(t *Table) compaction.Result {
 	// Cost: the §4.2 estimate times the production overhead, with
 	// deterministic jitter.
 	estGBHr := r.Model.ExecutorMemoryGB * float64(smallBytes) / r.Model.RewriteBytesPerHour
-	res.GBHr = estGBHr * r.Fleet.rng.Jitter(r.Model.OverheadFactor, 0.08)
+	res.GBHr = estGBHr * r.Fleet.rngExec.Jitter(r.Model.OverheadFactor, 0.08)
 	res.Duration = time.Duration(float64(mergeBytes) / r.Model.RewriteBytesPerHour * float64(time.Hour))
 	return res
 }

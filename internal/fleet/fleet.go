@@ -381,11 +381,26 @@ func DefaultConfig() Config {
 }
 
 // Fleet is the whole simulated deployment.
+//
+// Randomness is split into independent per-component streams derived by
+// sim.Child from the fleet seed: onboarding draws, daily write-pattern
+// draws, scan-workload draws, and execution-side draws (compaction cost
+// jitter, scheduler seeds, racing writers) each consume their own
+// stream. The split is what keeps scenario traces stable under
+// composition — running extra compactions or attaching a fault injector
+// never perturbs the write-pattern draws of the days that follow.
 type Fleet struct {
-	cfg    Config
-	clock  *sim.Clock
-	rng    *sim.RNG
-	tables []*Table
+	cfg   Config
+	clock *sim.Clock
+	// rngTables draws table shapes at onboarding; rngWrites draws the
+	// daily organic write pattern (drift, per-table volumes); rngScans
+	// draws the daily scan workload; rngExec draws execution-side noise
+	// (compaction cost jitter, scheduler pool seeds, racing writers).
+	rngTables *sim.RNG
+	rngWrites *sim.RNG
+	rngScans  *sim.RNG
+	rngExec   *sim.RNG
+	tables    []*Table
 
 	// dbFiles caches per-database data-file counts so quota utilization
 	// is O(1) per lookup instead of a fleet scan — at 100k tables a
@@ -403,6 +418,13 @@ type Fleet struct {
 	openCalls     int64
 	metaOpenCalls int64
 	day           int
+
+	// onboarded counts every table ever onboarded and names the next
+	// one. It must be monotonic — deriving names from len(tables) would
+	// reuse a live table's name after a DropTable, and every name-keyed
+	// structure downstream (changefeed tracker, stats cache, retained
+	// pool, leases) would conflate the twins.
+	onboarded int
 }
 
 // AttachChangefeed publishes the fleet's commits (writer commits, daily
@@ -445,10 +467,13 @@ func New(cfg Config, clock *sim.Clock) *Fleet {
 		cfg.InitialTinyFraction = 0.83
 	}
 	f := &Fleet{
-		cfg:     cfg,
-		clock:   clock,
-		rng:     sim.NewRNG(cfg.Seed),
-		dbFiles: make(map[string]int64),
+		cfg:       cfg,
+		clock:     clock,
+		rngTables: sim.Child(cfg.Seed, "fleet/tables"),
+		rngWrites: sim.Child(cfg.Seed, "fleet/writes"),
+		rngScans:  sim.Child(cfg.Seed, "fleet/scans"),
+		rngExec:   sim.Child(cfg.Seed, "fleet/exec"),
+		dbFiles:   make(map[string]int64),
 	}
 	for i := 0; i < cfg.InitialTables; i++ {
 		f.onboard()
@@ -459,28 +484,29 @@ func New(cfg Config, clock *sim.Clock) *Fleet {
 // onboard creates one table with a heavy-tailed file count and the
 // configured small-file skew.
 func (f *Fleet) onboard() *Table {
-	i := len(f.tables)
+	i := f.onboarded
+	f.onboarded++
 	t := &Table{
 		db:          fmt.Sprintf("db%03d", i%f.cfg.Databases),
 		name:        fmt.Sprintf("t%06d", i),
-		partitioned: f.rng.Bernoulli(0.6),
+		partitioned: f.rngTables.Bernoulli(0.6),
 		created:     f.clock.Now(),
 		lastWrite:   f.clock.Now(),
 		fleet:       f,
 	}
 	if t.partitioned {
-		t.partitions = f.rng.IntBetween(10, 400)
+		t.partitions = f.rngTables.IntBetween(10, 400)
 	} else {
 		t.partitions = 1
 	}
 	// File counts are heavy-tailed: most tables are small, a few are
 	// enormous (the paper's problem tables averaged 42M files; we cap
 	// the tail for scaled runs).
-	files := int64(f.rng.Pareto(40, 0.9))
+	files := int64(f.rngTables.Pareto(40, 0.9))
 	if files > 2_000_000 {
 		files = 2_000_000
 	}
-	tiny := int64(float64(files) * f.rng.Jitter(f.cfg.InitialTinyFraction, 0.1))
+	tiny := int64(float64(files) * f.rngTables.Jitter(f.cfg.InitialTinyFraction, 0.1))
 	if tiny > files {
 		tiny = files
 	}
@@ -488,16 +514,16 @@ func (f *Fleet) onboard() *Table {
 	full := files - tiny - smallish
 	t.counts = [3]int64{tiny, smallish, full}
 	t.bytes = [3]int64{
-		tiny * int64(f.rng.Jitter(24*float64(storage.MB), 0.5)),
-		smallish * int64(f.rng.Jitter(256*float64(storage.MB), 0.3)),
-		full * int64(f.rng.Jitter(700*float64(storage.MB), 0.2)),
+		tiny * int64(f.rngTables.Jitter(24*float64(storage.MB), 0.5)),
+		smallish * int64(f.rngTables.Jitter(256*float64(storage.MB), 0.3)),
+		full * int64(f.rngTables.Jitter(700*float64(storage.MB), 0.2)),
 	}
-	t.growthPerDay = f.rng.Jitter(float64(files)*0.01, 0.8) + 1
-	t.avgNewFile = int64(f.rng.Jitter(16*float64(storage.MB), 0.7))
+	t.growthPerDay = f.rngTables.Jitter(float64(files)*0.01, 0.8) + 1
+	t.avgNewFile = int64(f.rngTables.Jitter(16*float64(storage.MB), 0.7))
 	if t.avgNewFile < storage.MB {
 		t.avgNewFile = storage.MB
 	}
-	t.scanShare = f.rng.Float64() * 0.5
+	t.scanShare = f.rngTables.Float64() * 0.5
 	// Metadata history from the table's past life: roughly one commit per
 	// 50 files, each leaving a metadata.json version and a manifest.
 	t.commitMetadata(files/50 + 1)
@@ -600,18 +626,18 @@ func (f *Fleet) AdvanceDay() {
 	f.clock.Advance(24 * time.Hour)
 	sparse := f.cfg.DailyWriteProb > 0 && f.cfg.DailyWriteProb < 1
 	for _, t := range f.tables {
-		if f.cfg.DailyDriftProb > 0 && f.rng.Bernoulli(f.cfg.DailyDriftProb) {
+		if f.cfg.DailyDriftProb > 0 && f.rngWrites.Bernoulli(f.cfg.DailyDriftProb) {
 			// The owning pipeline changed: a quiet table may become a
 			// heavy (untuned) writer or a heavy one go quiet.
-			t.growthPerDay = f.rng.Pareto(2, 0.9)
+			t.growthPerDay = f.rngWrites.Pareto(2, 0.9)
 			if t.growthPerDay > 5000 {
 				t.growthPerDay = 5000
 			}
 		}
-		if sparse && !f.rng.Bernoulli(f.cfg.DailyWriteProb) {
+		if sparse && !f.rngWrites.Bernoulli(f.cfg.DailyWriteProb) {
 			continue
 		}
-		n := int64(f.rng.Jitter(t.growthPerDay, 0.5))
+		n := int64(f.rngWrites.Jitter(t.growthPerDay, 0.5))
 		if n <= 0 {
 			continue
 		}
@@ -659,7 +685,7 @@ func (f *Fleet) RunDailyScans() ScanStats {
 	const perFileOverhead = 30 * time.Millisecond
 	const scanBytesPerSec = float64(2 * storage.GB) // fleet-wide parallel
 	for _, t := range f.tables {
-		if !f.rng.Bernoulli(t.scanShare) {
+		if !f.rngScans.Bernoulli(t.scanShare) {
 			continue
 		}
 		files := t.counts[0] + t.counts[1] + t.counts[2]
@@ -684,3 +710,29 @@ func (f *Fleet) OpenCalls() int64 { return f.openCalls }
 // MetadataOpenCalls returns cumulative planning-time open() RPCs on
 // metadata objects — the NameNode pressure cause (iv) contributes.
 func (f *Fleet) MetadataOpenCalls() int64 { return f.metaOpenCalls }
+
+// DropTable removes a table from the fleet — the mid-flight table
+// deletion a long-running service must survive (users drop and recreate
+// tables daily, §7). The table's data files leave the tenant's
+// namespace accounting and, when a changefeed is attached, a Dropped
+// event tells subscribers to forget it (dirty state, cached stats,
+// retained candidates). It returns false when no table has that full
+// name.
+func (f *Fleet) DropTable(fullName string) bool {
+	for i, t := range f.tables {
+		if t.FullName() != fullName {
+			continue
+		}
+		f.tables = append(f.tables[:i], f.tables[i+1:]...)
+		f.addDBFiles(t.db, -(t.counts[0] + t.counts[1] + t.counts[2]))
+		if f.bus != nil {
+			f.bus.Publish(changefeed.Event{
+				Table:   fullName,
+				At:      f.clock.Now(),
+				Dropped: true,
+			})
+		}
+		return true
+	}
+	return false
+}

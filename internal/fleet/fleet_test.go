@@ -249,3 +249,67 @@ func TestBucketBounds(t *testing.T) {
 		t.Fatalf("bounds = %v", b)
 	}
 }
+
+// TestComponentRNGStreamsIndependent pins the per-component stream
+// split: a fleet that additionally runs scans and compactions between
+// days must see exactly the organic write growth of an untouched twin —
+// execution- and scan-side draws come from their own streams, so
+// running maintenance (or attaching a fault injector) never perturbs
+// the write pattern. Before the split, compaction cost jitter consumed
+// the shared stream and every subsequent write draw shifted.
+func TestComponentRNGStreamsIndependent(t *testing.T) {
+	build := func() *Fleet {
+		cfg := DefaultConfig()
+		cfg.Seed = 21
+		cfg.InitialTables = 120
+		return New(cfg, sim.NewClock())
+	}
+	quiet, busy := build(), build()
+	model := DefaultModel(512 * storage.MB)
+	for d := 1; d <= 5; d++ {
+		// The busy twin scans and compacts its hottest tables daily.
+		busy.RunDailyScans()
+		r := Runner{Fleet: busy, Model: model}
+		for _, tb := range busy.MostFragmented(10) {
+			r.CompactTable(tb)
+		}
+		qBefore, bBefore := quiet.TotalFiles(), busy.TotalFiles()
+		quiet.AdvanceDay()
+		busy.AdvanceDay()
+		qGrow, bGrow := quiet.TotalFiles()-qBefore, busy.TotalFiles()-bBefore
+		if qGrow != bGrow {
+			t.Fatalf("day %d: organic growth diverged (%d vs %d files) — scan/exec draws leaked into the write stream",
+				d, qGrow, bGrow)
+		}
+	}
+}
+
+// TestDropThenOnboardNeverReusesNames pins the monotonic onboarding
+// counter: after a drop, newly onboarded tables must not reuse a live
+// table's name (name-keyed structures — changefeed tracker, stats
+// cache, leases — would conflate the twins).
+func TestDropThenOnboardNeverReusesNames(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.InitialTables = 50
+	cfg.TablesPerMonth = 60
+	f := New(cfg, sim.NewClock())
+	victim := f.Tables()[10].FullName()
+	if !f.DropTable(victim) {
+		t.Fatal("drop failed")
+	}
+	for d := 0; d < 3; d++ {
+		f.AdvanceDay()
+	}
+	seen := make(map[string]bool, f.TableCount())
+	for _, tb := range f.Tables() {
+		name := tb.FullName()
+		if seen[name] {
+			t.Fatalf("duplicate live table name %s after drop+onboard", name)
+		}
+		seen[name] = true
+		if name == victim {
+			t.Fatalf("dropped table's name %s reused", victim)
+		}
+	}
+}

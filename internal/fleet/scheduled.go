@@ -116,7 +116,7 @@ func (s *ScheduledService) RunCycle() (*core.Report, scheduler.Stats, error) {
 		RetryMax:         s.opts.RetryMax,
 		AgingRatePerHour: s.opts.AgingRatePerHour,
 		ServiceTime:      scheduler.EstimatedServiceTime(s.model.ExecutorMemoryGB),
-		Seed:             s.fleet.rng.Int63(),
+		Seed:             s.fleet.rngExec.Int63(),
 	}, s.svc.Runner(), sub)
 	pool.Submit(dec.Selected)
 
@@ -136,7 +136,7 @@ func (s *ScheduledService) RunCycle() (*core.Report, scheduler.Stats, error) {
 // the tables being compacted — precisely the high-churn tables whose
 // writers made them worth compacting (§4.1, §4.4).
 func (s *ScheduledService) scheduleWriters(q *sim.EventQueue, pool *scheduler.Pool, selected []*core.Candidate) {
-	wrng := s.fleet.rng.Fork()
+	wrng := s.fleet.rngExec.Fork()
 	hot := make([]*Table, 0, len(selected))
 	seen := make(map[string]bool, len(selected))
 	for _, c := range selected {

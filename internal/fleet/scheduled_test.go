@@ -55,9 +55,10 @@ func TestScheduledCycleExecutesPlan(t *testing.T) {
 
 func TestScheduledMakespanShrinksWithWorkers(t *testing.T) {
 	// Same seed ⇒ identical fleet and identical ranked plan; only the
-	// worker count differs.
-	_, s1 := runSchedCycle(t, 5, SchedOptions{Workers: 1, Shards: 1})
-	_, s8 := runSchedCycle(t, 5, SchedOptions{Workers: 8, Shards: 1})
+	// worker count differs. The seed is chosen so the top-40 plan is not
+	// dominated by one makespan-setting giant job.
+	_, s1 := runSchedCycle(t, 7, SchedOptions{Workers: 1, Shards: 1})
+	_, s8 := runSchedCycle(t, 7, SchedOptions{Workers: 8, Shards: 1})
 	if s1.Submitted != s8.Submitted {
 		t.Fatalf("plans differ: %d vs %d jobs", s1.Submitted, s8.Submitted)
 	}

@@ -36,6 +36,12 @@ type SpecRunOptions struct {
 	// WriterCommitsPerHour is the fleet-wide rate of live writer commits
 	// racing the compactor during execution windows (0 = quiet lake).
 	WriterCommitsPerHour float64
+	// WrapRunner, when set, wraps the substrate's data-compaction runner
+	// before the spec compiles against it — fault injectors and
+	// instrumentation hook in here. When the spec enables unified
+	// maintenance, the wrapper sees only the data-compaction candidates
+	// (the maintenance runner wraps the result for metadata actions).
+	WrapRunner func(core.Runner) core.Runner
 }
 
 // SpecService is a pipeline built from a declarative policy spec: the
@@ -61,7 +67,11 @@ type SpecService struct {
 // ScheduledService constructors, and compiling the matching spec
 // produces byte-identical decisions to them.
 func (f *Fleet) ServiceFromSpec(spec *policy.Spec, model CompactionModel, opts SpecRunOptions) (*SpecService, error) {
-	comp, err := policy.Compile(spec, f.PolicyEnv(model), f.PolicyBindings(model))
+	bindings := f.PolicyBindings(model)
+	if opts.WrapRunner != nil {
+		bindings.Runner = opts.WrapRunner(bindings.Runner)
+	}
+	comp, err := policy.Compile(spec, f.PolicyEnv(model), bindings)
 	if err != nil {
 		return nil, err
 	}

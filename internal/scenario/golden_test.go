@@ -1,0 +1,127 @@
+package scenario
+
+// The golden-trace regression harness: every scenario shipped under
+// examples/scenarios runs end to end and its canonical trace is
+// byte-compared against the committed golden under
+// examples/scenarios/golden. Regenerate after an intentional behaviour
+// change with:
+//
+//	go test ./internal/scenario -run Scenario -update
+//
+// and review the golden diff like any other code change — it is the
+// decision-level record of what your change did to the whole stack.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden scenario traces")
+
+// scenariosDir is the shipped scenario corpus, relative to this package.
+func scenariosDir() string { return filepath.Join("..", "..", "examples", "scenarios") }
+
+func goldenPath(name string) string {
+	return filepath.Join(scenariosDir(), "golden", name+".trace")
+}
+
+// cheapScenarios is the subset -short (and the CI race job) runs: the
+// three fastest scenarios, covering the serial data-only path, the
+// execution plane, and a mid-run policy reload.
+var cheapScenarios = map[string]bool{
+	"steady-state":       true,
+	"hot-partition-skew": true,
+	"policy-reload":      true,
+}
+
+func TestScenarioGoldenTraces(t *testing.T) {
+	specs, err := LoadDir(scenariosDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 8 {
+		t.Fatalf("only %d shipped scenarios found in %s", len(specs), scenariosDir())
+	}
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if testing.Short() && !cheapScenarios[s.Name] {
+				t.Skip("short mode runs the cheap subset only")
+			}
+			tr, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tr.Marshal()
+			gp := goldenPath(s.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(gp), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(gp, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(gp)
+			if err != nil {
+				t.Fatalf("missing golden trace (regenerate with -update): %v", err)
+			}
+			if diff := DiffTraces(want, got); diff != nil {
+				t.Fatalf("trace diverges from golden %s:\n%s", gp, joinLines(diff))
+			}
+		})
+	}
+}
+
+// TestScenarioTraceDeterminism is the acceptance check: the same
+// scenario JSON with the same seed produces byte-identical traces run
+// to run — the property the whole golden harness rests on. It uses the
+// most compositional shipped scenario (bursts + backfill + execution
+// plane).
+func TestScenarioTraceDeterminism(t *testing.T) {
+	s, err := LoadFile(filepath.Join(scenariosDir(), "burst-backfill.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-load from disk so run-to-run state sharing is impossible.
+	s2, err := LoadFile(filepath.Join(scenariosDir(), "burst-backfill.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Run(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := DiffTraces(t1.Marshal(), t2.Marshal()); diff != nil {
+		t.Fatalf("same scenario+seed diverged:\n%s", joinLines(diff))
+	}
+}
+
+// TestScenarioShippedSpecsValidate is the schema guard CI runs through
+// lakectl; it also runs here so `go test` alone catches a bad edit.
+func TestScenarioShippedSpecsValidate(t *testing.T) {
+	specs, err := LoadDir(scenariosDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

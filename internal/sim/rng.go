@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -22,8 +23,28 @@ func NewRNG(seed int64) *RNG {
 
 // Fork derives a new independent generator from this one. Forking lets a
 // simulation hand stable sub-streams to components so that adding draws in
-// one component does not perturb another.
+// one component does not perturb another. Note that Fork itself consumes
+// one draw from the parent stream, so the set of forks a simulation takes
+// is part of its deterministic behaviour; components that must stay
+// independent of each other's existence should use Child instead.
 func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// Child derives a generator from a root seed and a stable component
+// label. Unlike successive Fork calls, the derived stream depends only on
+// (seed, label) — not on how many other components derived streams before
+// this one — so adding a new component (a fault injector, an extra write
+// pattern) never perturbs the draws of existing ones. This is the
+// derivation rule every scenario component uses.
+func Child(seed int64, label string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	// Clear the sign bit of the hash and of the final XOR so the
+	// derived seed stays non-negative for any root seed (the outer mask
+	// is a no-op for non-negative seeds, so their streams are what they
+	// always were); equal (seed, label) pairs always derive the same
+	// stream.
+	return NewRNG((seed ^ int64(h.Sum64()&0x7fffffffffffffff)) & 0x7fffffffffffffff)
+}
 
 // Int63 returns a non-negative pseudo-random 63-bit integer.
 func (g *RNG) Int63() int64 { return g.r.Int63() }

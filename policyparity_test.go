@@ -1,7 +1,6 @@
 package autocomp
 
 import (
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,37 +10,16 @@ import (
 	"autocomp/internal/fleet"
 	"autocomp/internal/maintenance"
 	"autocomp/internal/policy"
+	"autocomp/internal/scenario/testkit"
 	"autocomp/internal/sim"
-	"autocomp/internal/storage"
 )
 
-// decisionFingerprint serializes everything a Decide() produced: the
-// funnel counts, every ranked candidate with its score, the selection,
-// and the plan. Two pipelines are decision-equivalent only when these
-// bytes match.
-func decisionFingerprint(d *core.Decision) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "t=%v gen=%d pre=%d stats=%d trait=%d\n",
-		d.At, d.Generated, d.AfterPreFilters, d.AfterStatsFilter, d.AfterTraitFilter)
-	for _, c := range d.Ranked {
-		fmt.Fprintf(&b, "R %s %.15g\n", c.ID(), c.Score)
-	}
-	for _, c := range d.Selected {
-		fmt.Fprintf(&b, "S %s\n", c.ID())
-	}
-	for i, round := range d.Plan {
-		for _, c := range round {
-			fmt.Fprintf(&b, "P%d %s\n", i, c.ID())
-		}
-	}
-	return b.String()
-}
+// decisionFingerprint and parityFleetConfig live in the shared testkit;
+// these aliases keep the parity tests reading naturally.
+var decisionFingerprint = testkit.DecisionFingerprint
 
 func parityFleetConfig(seed int64) fleet.Config {
-	cfg := fleet.DefaultConfig()
-	cfg.Seed = seed
-	cfg.InitialTables = 300
-	return cfg
+	return testkit.FleetConfig(seed, 300)
 }
 
 // runParity ages two identically seeded fleets — one deciding through
@@ -52,7 +30,7 @@ func runParity(t *testing.T, seed int64, days int,
 	handWired func(f *fleet.Fleet, model fleet.CompactionModel) (*core.Service, error),
 	spec func() *policy.Spec) {
 	t.Helper()
-	model := fleet.DefaultModel(512 * storage.MB)
+	model := testkit.Model()
 	fHand := fleet.New(parityFleetConfig(seed), sim.NewClock())
 	fSpec := fleet.New(parityFleetConfig(seed), sim.NewClock())
 
@@ -90,13 +68,7 @@ func runParity(t *testing.T, seed int64, days int,
 	}
 }
 
-func head(s string, n int) string {
-	lines := strings.SplitN(s, "\n", n+1)
-	if len(lines) > n {
-		lines = lines[:n]
-	}
-	return strings.Join(lines, "\n")
-}
+func head(s string, n int) string { return testkit.Head(s, n) }
 
 // TestDefaultSpecFileParity is the acceptance check: the spec compiled
 // from examples/policies/default.json produces byte-identical Decide()
@@ -154,7 +126,7 @@ func TestDataSpecParity(t *testing.T) {
 // every-commit trigger decides identically to the hand-wired
 // incremental maintenance service.
 func TestIncrementalSpecParity(t *testing.T) {
-	model := fleet.DefaultModel(512 * storage.MB)
+	model := testkit.Model()
 	cfg := parityFleetConfig(5)
 	cfg.DailyWriteProb = 0.3
 	fHand := fleet.New(cfg, sim.NewClock())
@@ -205,7 +177,7 @@ func TestIncrementalSpecParity(t *testing.T) {
 // cycles, and the new policy (a tighter selector) takes effect on the
 // next decision.
 func TestHotReloadBetweenCycles(t *testing.T) {
-	model := fleet.DefaultModel(512 * storage.MB)
+	model := testkit.Model()
 	f := fleet.New(parityFleetConfig(2), sim.NewClock())
 
 	dir := t.TempDir()
