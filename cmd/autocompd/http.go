@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"autocomp/internal/telemetry"
+)
+
+// statusState is the daemon state /statusz serves. The run loop updates
+// it under the mutex once per cycle; HTTP handlers read it concurrently.
+type statusState struct {
+	mu          sync.Mutex
+	policy      string
+	policyPath  string
+	day         int
+	daysPlanned int
+	done        bool
+}
+
+func (st *statusState) update(policy string, day int, done bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.policy = policy
+	st.day = day
+	st.done = done
+}
+
+// StatusSnapshot is the /statusz payload: daemon identity plus the
+// decision-trace view of the fleet, dirty set, and scheduler — the same
+// CycleEvents the log lines render, so the three views cannot drift.
+type StatusSnapshot struct {
+	Policy         string                 `json:"policy"`
+	PolicyPath     string                 `json:"policy_path,omitempty"`
+	Day            int                    `json:"day"`
+	DaysPlanned    int                    `json:"days_planned"`
+	Done           bool                   `json:"done"`
+	Cycles         int64                  `json:"cycles"`
+	MetricFamilies int                    `json:"metric_families"`
+	LastCycle      *telemetry.CycleEvent  `json:"last_cycle,omitempty"`
+	RecentCycles   []telemetry.CycleEvent `json:"recent_cycles,omitempty"`
+}
+
+func (st *statusState) snapshot() StatusSnapshot {
+	st.mu.Lock()
+	snap := StatusSnapshot{
+		Policy:      st.policy,
+		PolicyPath:  st.policyPath,
+		Day:         st.day,
+		DaysPlanned: st.daysPlanned,
+		Done:        st.done,
+	}
+	st.mu.Unlock()
+	tr := telemetry.DefaultTracer()
+	snap.Cycles = tr.Seq()
+	snap.MetricFamilies = telemetry.Default().FamilyCount()
+	if ev, ok := tr.Last(); ok {
+		snap.LastCycle = &ev
+	}
+	snap.RecentCycles = tr.Recent(8)
+	return snap
+}
+
+// serveTelemetry binds listen and serves /metrics (Prometheus text
+// format), /statusz (JSON daemon snapshot), /healthz, and the pprof
+// suite under /debug/pprof/. It returns the bound address (useful with
+// ":0") and serves until the process exits.
+func serveTelemetry(listen string, st *statusState) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st.snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

@@ -32,20 +32,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"time"
+	"os"
 
-	"autocomp/internal/changefeed"
-	"autocomp/internal/core"
 	"autocomp/internal/fleet"
 	"autocomp/internal/policy"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
+	"autocomp/internal/telemetry"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	tables := flag.Int("tables", 1000, "fleet size")
 	days := flag.Int("days", 14, "days to simulate (one cycle per day)")
+	listen := flag.String("listen", "", "serve /metrics, /statusz, /healthz, and /debug/pprof on this address (e.g. :9090; empty = no HTTP plane); the daemon keeps serving after the run completes")
+	tracePath := flag.String("trace", "", "append per-cycle decision-trace events to this file as JSON lines")
 	policyPath := flag.String("policy", "", "policy spec file (JSON); pipeline flags become overrides and the file hot-reloads between cycles")
 	k := flag.Int("k", 0, "fixed top-k selection (0 = use budget)")
 	budgetTBHr := flag.Float64("budget-tbhr", 50, "per-cycle compute budget (TBHr)")
@@ -65,6 +66,15 @@ func main() {
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *tracePath != "" {
+		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		telemetry.DefaultTracer().SetWriter(tf)
+	}
 
 	clock := sim.NewClock()
 	cfg := fleet.DefaultConfig()
@@ -141,7 +151,16 @@ func main() {
 	fmt.Printf("policy: %s%s\n", name, map[bool]string{true: " (from " + *policyPath + ", hot-reloadable)", false: " (from flags)"}[*policyPath != ""])
 	printPlanes(svc)
 
-	var prevCache changefeed.CacheCounters
+	status := &statusState{policyPath: *policyPath, daysPlanned: *days}
+	status.update(name, 0, false)
+	if *listen != "" {
+		addr, err := serveTelemetry(*listen, status)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: listening on %s (/metrics /statusz /healthz /debug/pprof)\n", addr)
+	}
+
 	for d := 1; d <= *days; d++ {
 		// Hot reload: a changed, valid policy file swaps the pipeline in
 		// atomically between cycles; a bad edit keeps the current policy.
@@ -161,7 +180,6 @@ func main() {
 					break
 				}
 				svc, spec = newSvc, newSpec
-				prevCache = changefeed.CacheCounters{}
 				name = spec.Name
 				if name == "" {
 					name = "(unnamed)"
@@ -172,36 +190,21 @@ func main() {
 		}
 
 		f.AdvanceDay()
-		rep, stats, err := svc.RunCycle()
-		if err != nil {
+		if _, _, err := svc.RunCycle(); err != nil {
 			log.Fatal(err)
 		}
-		counts := rep.ActionCounts()
-		fmt.Printf("day %3d: candidates=%4d selected=%4d reduced=%8d files  cost=%7.1f TBHr  actions[data=%d expire=%d ckpt=%d manifest=%d]  fleet=%9d files %8d meta (%4.0f%% tiny)\n",
-			d, rep.Decision.Generated, len(rep.Decision.Selected),
-			rep.FilesReduced, rep.ActualGBHr/1024,
-			counts[core.ActionDataCompaction], counts[core.ActionSnapshotExpiry],
-			counts[core.ActionMetadataCheckpoint], counts[core.ActionManifestRewrite],
-			f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
-		if svc.Sched != nil {
-			fmt.Printf("         sched: makespan=%8v util=%3.0f%%  queue[max=%3d mean=%5.1f]  conflicts=%3d retries=%3d deferred=%3d\n",
-				stats.Makespan.Round(time.Second), 100*stats.Utilization(),
-				stats.MaxQueueDepth, stats.MeanQueueDepth,
-				stats.Conflicts, stats.Retries, stats.Deferred)
+		// The cycle's telemetry event is the log line: one snapshot
+		// renders the log, the JSONL trace, /statusz, and /metrics, so
+		// they cannot drift apart.
+		if ev, ok := telemetry.DefaultTracer().Last(); ok {
+			fmt.Println(ev.String())
 		}
-		if svc.Feed != nil {
-			scan := svc.Feed.LastScan()
-			cc := svc.Feed.Cache.Counters()
-			mode := "dirty-only"
-			if scan.Full {
-				mode = "full-scan"
-			}
-			fmt.Printf("         incr:  scanned=%4d/%d tables (%s)  pool=%4d  observes=%4d cache-hits=%4d  dirty-now=%d\n",
-				scan.Scanned, f.TableCount(), mode, scan.Pool,
-				cc.Misses-prevCache.Misses, cc.Hits-prevCache.Hits,
-				svc.Feed.Tracker.DirtyCount())
-			prevCache = cc
-		}
+		status.update(name, d, false)
+	}
+	status.update(name, *days, true)
+	if *listen != "" {
+		fmt.Println("autocompd: run complete; still serving telemetry (interrupt to exit)")
+		select {}
 	}
 }
 

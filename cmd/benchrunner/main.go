@@ -6,24 +6,64 @@
 //
 //	benchrunner -exp fig6            # one experiment at paper scale
 //	benchrunner -exp all -quick      # everything, scaled down
+//	benchrunner -exp all -quick -json BENCH_autocomp.json
 //	benchrunner -list
+//
+// With -json, a machine-readable bench trajectory is written alongside
+// the rendered tables: per-experiment wall time, allocation footprint,
+// and pipeline throughput sampled from the runtime telemetry registry.
+// The committed BENCH_autocomp.json is regenerated with
+// `benchrunner -exp all -quick -json BENCH_autocomp.json`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"autocomp/internal/experiments"
+	"autocomp/internal/telemetry"
 )
+
+// benchExperiment is one experiment's row in the -json trajectory.
+type benchExperiment struct {
+	ID         string  `json:"id"`
+	Title      string  `json:"title"`
+	DurationMS float64 `json:"duration_ms"`
+	// OutputBytes is the size of the rendered tables/series — a cheap
+	// proxy for how much of the paper's reporting surface the experiment
+	// regenerates.
+	OutputBytes int `json:"output_bytes"`
+	// AllocMB is the heap allocated while the experiment ran (delta of
+	// runtime.MemStats.TotalAlloc).
+	AllocMB float64 `json:"alloc_mb"`
+	// Cycles is how many OODA cycles the experiment drove through the
+	// decision pipeline (delta of autocomp_core_cycles_total), and
+	// CyclesPerSec the resulting decision throughput; both are zero for
+	// experiments that exercise the storage/engine layers directly.
+	Cycles       float64 `json:"cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+// benchReport is the top-level -json payload.
+type benchReport struct {
+	GoVersion   string            `json:"go_version"`
+	Seed        int64             `json:"seed"`
+	Quick       bool              `json:"quick"`
+	Experiments []benchExperiment `json:"experiments"`
+	TotalMS     float64           `json:"total_ms"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, table1, est, maint) or 'all'")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "also write a machine-readable bench report to this file")
 	flag.Parse()
 
 	if *list {
@@ -40,7 +80,11 @@ func main() {
 			ids = append(ids, s.ExpID)
 		}
 	}
+	report := benchReport{GoVersion: runtime.Version(), Seed: *seed, Quick: *quick}
 	for _, id := range ids {
+		var ms0 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		cycles0, _ := telemetry.Default().Value("autocomp_core_cycles_total")
 		start := time.Now()
 		res, err := experiments.Run(id, *seed, *quick)
 		if err != nil {
@@ -48,7 +92,38 @@ func main() {
 			log.Printf("experiment %s failed: %v", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s ====\n%s\n", res.Title(), res.Render())
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		cycles1, _ := telemetry.Default().Value("autocomp_core_cycles_total")
+		body := res.Render()
+		fmt.Printf("==== %s ====\n%s\n", res.Title(), body)
+		fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
+
+		be := benchExperiment{
+			ID:          id,
+			Title:       res.Title(),
+			DurationMS:  float64(elapsed) / float64(time.Millisecond),
+			OutputBytes: len(body),
+			AllocMB:     float64(ms1.TotalAlloc-ms0.TotalAlloc) / (1 << 20),
+			Cycles:      cycles1 - cycles0,
+		}
+		if be.Cycles > 0 && elapsed > 0 {
+			be.CyclesPerSec = be.Cycles / elapsed.Seconds()
+		}
+		report.Experiments = append(report.Experiments, be)
+		report.TotalMS += be.DurationMS
+	}
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bench report: %s (%d experiments, %.0f ms total)\n",
+			*jsonOut, len(report.Experiments), report.TotalMS)
 	}
 }

@@ -25,6 +25,12 @@
 //	                           is a scenario .json (run now) or a saved
 //	                           .trace file (e.g. a committed golden)
 //
+// and the daemon-operations command:
+//
+//	lakectl status <host:port>               scrape /statusz from a
+//	                           running autocompd (-listen) and render the
+//	                           daemon's progress + recent decision trace
+//
 // The dry runs compile their pipelines from policy specs (the same
 // declarative plane autocompd runs), bound to the catalog substrate —
 // so per-table policies installed in the control plane layer on top of
@@ -70,6 +76,10 @@ func main() {
 		scenarioCmd(flag.Args()[1:])
 		return
 	}
+	if cmd == "status" {
+		statusCmd(flag.Args()[1:])
+		return
+	}
 
 	env := buildLake(*seed, *databases)
 	switch cmd {
@@ -78,7 +88,7 @@ func main() {
 	case "metadata":
 		metadataView(env, *top)
 	default:
-		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario)", cmd)
+		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario, status)", cmd)
 	}
 }
 

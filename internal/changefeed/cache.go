@@ -69,9 +69,12 @@ func (sc *StatsCache) Get(table, id string, version int64) (core.Stats, bool) {
 	defer sc.mu.Unlock()
 	if e, ok := sc.tables[table][id]; ok && e.version == version {
 		sc.hits++
+		mCacheHits.Inc()
+		mObservesSaved.Inc()
 		return e.stats, true
 	}
 	sc.misses++
+	mCacheMisses.Inc()
 	return core.Stats{}, false
 }
 
@@ -90,6 +93,7 @@ func (sc *StatsCache) putLocked(table, id string, version int64, s core.Stats) {
 	}
 	if _, existed := m[id]; !existed {
 		sc.entries++
+		mCacheEntries.Set(float64(sc.entries))
 	}
 	m[id] = cacheEntry{version: version, stats: s}
 }
@@ -127,6 +131,8 @@ func (sc *StatsCache) InvalidateTable(name string) {
 	}
 	sc.epochs[name]++
 	sc.invalidations++
+	mCacheInvalidations.Inc()
+	mCacheEntries.Set(float64(sc.entries))
 }
 
 // Drop removes every trace of a table — entries and its invalidation
@@ -143,6 +149,8 @@ func (sc *StatsCache) Drop(name string) {
 	}
 	delete(sc.epochs, name)
 	sc.invalidations++
+	mCacheInvalidations.Inc()
+	mCacheEntries.Set(float64(sc.entries))
 }
 
 // RetainOnly drops every table not in keep — wired to reconciling full
@@ -162,6 +170,7 @@ func (sc *StatsCache) RetainOnly(keep map[string]struct{}) {
 			delete(sc.epochs, name)
 		}
 	}
+	mCacheEntries.Set(float64(sc.entries))
 }
 
 // MaxVersions returns, per cached table, the highest version any of its

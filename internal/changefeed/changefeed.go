@@ -106,6 +106,7 @@ func (b *Bus) Publish(e Event) {
 	subs := b.subs
 	b.published++
 	b.mu.Unlock()
+	mEvents.Inc()
 	for _, fn := range subs {
 		fn(e)
 	}
@@ -166,6 +167,22 @@ type Tracker struct {
 
 	events    int64
 	triggered int64
+	// dirtyNow mirrors the current dirty-set size incrementally so the
+	// telemetry gauge never needs an O(tables) recount on the event path.
+	dirtyNow int64
+}
+
+// markDirtyLocked promotes s into the dirty set (no-op when already
+// dirty), maintaining the promotion counter and the telemetry gauge.
+func (tr *Tracker) markDirtyLocked(s *tableState) {
+	if s.dirty {
+		return
+	}
+	s.dirty = true
+	tr.triggered++
+	tr.dirtyNow++
+	mTriggered.Inc()
+	mDirtyTables.Set(float64(tr.dirtyNow))
 }
 
 // NewTracker returns a tracker using policy (nil = every commit).
@@ -187,6 +204,10 @@ func (tr *Tracker) HandleEvent(e Event) {
 	defer tr.mu.Unlock()
 	tr.events++
 	if e.Dropped {
+		if s, ok := tr.tables[e.Table]; ok && s.dirty {
+			tr.dirtyNow--
+			mDirtyTables.Set(float64(tr.dirtyNow))
+		}
 		delete(tr.tables, e.Table)
 		tr.dropped[e.Table] = struct{}{}
 		return
@@ -198,10 +219,7 @@ func (tr *Tracker) HandleEvent(e Event) {
 	s := tr.ensureLocked(e.Table, e.Ref)
 	if e.Maintenance {
 		s.pendingCommits, s.pendingBytes = 0, 0
-		if !s.dirty {
-			s.dirty = true
-			tr.triggered++
-		}
+		tr.markDirtyLocked(s)
 		return
 	}
 	commits := e.Commits
@@ -222,10 +240,7 @@ func (tr *Tracker) HandleEvent(e Event) {
 		(pol.BytesWritten > 0 && s.pendingBytes >= pol.BytesWritten)
 	if fire {
 		s.pendingCommits, s.pendingBytes = 0, 0
-		if !s.dirty {
-			s.dirty = true
-			tr.triggered++
-		}
+		tr.markDirtyLocked(s)
 	}
 }
 
@@ -263,8 +278,10 @@ func (tr *Tracker) TakeDirty() []core.Table {
 	for i, name := range names {
 		s := tr.tables[name]
 		s.dirty = false
+		tr.dirtyNow--
 		out[i] = s.ref
 	}
+	mDirtyTables.Set(float64(tr.dirtyNow))
 	return out
 }
 
@@ -291,6 +308,10 @@ func (tr *Tracker) NoteFullScan(ts []core.Table) {
 			delete(tr.tables, name)
 		}
 	}
+	// Every survivor was just cleared and every absentee deleted: the
+	// dirty set is empty by construction.
+	tr.dirtyNow = 0
+	mDirtyTables.Set(0)
 }
 
 // Redirty marks a known table dirty regardless of its trigger policy —
@@ -300,9 +321,8 @@ func (tr *Tracker) NoteFullScan(ts []core.Table) {
 func (tr *Tracker) Redirty(name string) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	if s, ok := tr.tables[name]; ok && !s.dirty {
-		s.dirty = true
-		tr.triggered++
+	if s, ok := tr.tables[name]; ok {
+		tr.markDirtyLocked(s)
 	}
 }
 

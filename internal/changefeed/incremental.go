@@ -119,6 +119,12 @@ func (f *Feed) beginCycle(full core.Connector) []core.Table {
 	f.mu.Lock()
 	f.scanned = ts
 	f.mu.Unlock()
+	mode := "dirty"
+	if doFull {
+		mode = "full"
+	}
+	mScans.With(mode).Inc()
+	mScannedTables.Set(float64(len(ts)))
 	return ts
 }
 
@@ -208,6 +214,8 @@ func (g *IncrementalGenerator) Candidates(tables []core.Table) []*core.Candidate
 			f.retained[name] = append(f.retained[name], c)
 		}
 		f.lastPool = len(fresh)
+		mPoolSize.Set(float64(f.lastPool))
+		mRetainedTables.Set(float64(len(f.retained)))
 		return fresh
 	}
 
@@ -228,6 +236,8 @@ func (g *IncrementalGenerator) Candidates(tables []core.Table) []*core.Candidate
 	// plus ID tie-break), so this only stabilizes logs and tests.
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	f.lastPool = len(out)
+	mPoolSize.Set(float64(f.lastPool))
+	mRetainedTables.Set(float64(len(f.retained)))
 	return out
 }
 

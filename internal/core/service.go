@@ -95,6 +95,7 @@ type Decision struct {
 // acting. Event-driven harnesses use it to execute the plan themselves.
 func (s *Service) Decide() (*Decision, error) {
 	cfg := s.cfg
+	started := time.Now()
 	d := &Decision{At: cfg.Connector.Now()}
 
 	cands := cfg.Generator.Candidates(cfg.Connector.Tables())
@@ -104,8 +105,10 @@ func (s *Service) Decide() (*Decision, error) {
 	d.AfterPreFilters = len(cands)
 
 	for _, c := range cands {
+		mObserve.Inc()
 		stats, err := cfg.Observer.Observe(c)
 		if err != nil {
+			mObserveErrors.Inc()
 			return nil, fmt.Errorf("core: observe %s: %w", c.ID(), err)
 		}
 		c.Stats = stats
@@ -120,6 +123,7 @@ func (s *Service) Decide() (*Decision, error) {
 	d.Ranked = cfg.Ranker.Rank(cands)
 	d.Selected = cfg.Selector.Select(d.Ranked)
 	d.Plan = cfg.Scheduler.Plan(d.Selected)
+	noteDecision(d, time.Since(started).Seconds())
 	return d, nil
 }
 
@@ -187,12 +191,14 @@ func (r *Report) add(c *Candidate, res compaction.Result) {
 	if c.Action != ActionDataCompaction {
 		est = c.Trait(MetadataReduction{}.Name())
 	}
-	r.Results = append(r.Results, CandidateResult{
+	cr := CandidateResult{
 		Candidate:          c,
 		Result:             res,
 		EstimatedReduction: est,
 		EstimatedGBHr:      c.Trait(ComputeCost{}.Name()),
-	})
+	}
+	r.Results = append(r.Results, cr)
+	noteResult(cr)
 	r.ActualGBHr += res.GBHr
 	switch {
 	case res.Conflict:

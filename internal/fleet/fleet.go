@@ -147,6 +147,7 @@ func (t *Table) WriterCommit(n int64) {
 	t.lastWrite = t.fleet.clock.Now()
 	t.writes++
 	t.commitMetadata(1)
+	mWriterCommits.Inc()
 	t.fleet.publish(t, 1, n*t.avgNewFile, false)
 }
 
@@ -529,6 +530,7 @@ func (f *Fleet) onboard() *Table {
 	t.commitMetadata(files/50 + 1)
 	f.tables = append(f.tables, t)
 	f.addDBFiles(t.db, files)
+	mOnboarded.Inc()
 	// Onboarding is the table's first appearance on the changefeed, so
 	// an incremental observer discovers it without waiting for a
 	// reconciling full scan.
@@ -661,6 +663,8 @@ func (f *Fleet) AdvanceDay() {
 	for i := 0; i < newTables; i++ {
 		f.onboard()
 	}
+	mDays.Inc()
+	f.refreshGauges()
 }
 
 // ScanStats reports one day of the scan-heavy workload (Fig 11a).
@@ -725,6 +729,7 @@ func (f *Fleet) DropTable(fullName string) bool {
 		}
 		f.tables = append(f.tables[:i], f.tables[i+1:]...)
 		f.addDBFiles(t.db, -(t.counts[0] + t.counts[1] + t.counts[2]))
+		mDropped.Inc()
 		if f.bus != nil {
 			f.bus.Publish(changefeed.Event{
 				Table:   fullName,

@@ -1,10 +1,13 @@
 package fleet
 
 import (
+	"time"
+
 	"autocomp/internal/changefeed"
 	"autocomp/internal/core"
 	"autocomp/internal/policy"
 	"autocomp/internal/scheduler"
+	"autocomp/internal/telemetry"
 )
 
 // PolicyEnv returns the policy-compilation environment of this fleet:
@@ -59,6 +62,11 @@ type SpecService struct {
 	// Sched is the concurrent execution plane (nil without an execution
 	// section; cycles then act serially).
 	Sched *ScheduledService
+
+	fleet *Fleet
+	// prevCache holds the stats-cache counters at the end of the last
+	// cycle, so trace events carry per-cycle deltas.
+	prevCache changefeed.CacheCounters
 }
 
 // ServiceFromSpec compiles a policy spec against this fleet and wires
@@ -75,7 +83,7 @@ func (f *Fleet) ServiceFromSpec(spec *policy.Spec, model CompactionModel, opts S
 	if err != nil {
 		return nil, err
 	}
-	out := &SpecService{Compiled: comp}
+	out := &SpecService{Compiled: comp, fleet: f}
 	cfg := comp.Core
 	if comp.Incremental {
 		cfg, out.Feed = f.IncrementalConfig(cfg, IncrOptions{
@@ -113,11 +121,112 @@ func (f *Fleet) ServiceFromSpec(spec *policy.Spec, model CompactionModel, opts S
 
 // RunCycle performs one OODA cycle on whichever execution plane the
 // spec configured: the worker pool when present (with scheduler stats),
-// the serial act phase otherwise (zero stats).
+// the serial act phase otherwise (zero stats). Every completed cycle
+// emits one telemetry.CycleEvent on the default tracer — the decision
+// trace autocompd logs, streams as JSONL, and serves on /statusz.
 func (s *SpecService) RunCycle() (*core.Report, scheduler.Stats, error) {
+	started := time.Now()
+	var rep *core.Report
+	var stats scheduler.Stats
+	var err error
 	if s.Sched != nil {
-		return s.Sched.RunCycle()
+		rep, stats, err = s.Sched.RunCycle()
+	} else {
+		rep, err = s.Svc.RunOnce()
 	}
-	rep, err := s.Svc.RunOnce()
-	return rep, scheduler.Stats{}, err
+	if err != nil {
+		return rep, stats, err
+	}
+	s.emitCycleEvent(rep, stats, time.Since(started))
+	return rep, stats, nil
+}
+
+// emitCycleEvent assembles the cycle's decision-trace event from the
+// report, the execution stats, the observation feed, and the substrate.
+// Emission is passive: it reads state the cycle already produced and
+// never mutates anything the pipeline consumes.
+func (s *SpecService) emitCycleEvent(rep *core.Report, stats scheduler.Stats, wall time.Duration) {
+	d := rep.Decision
+	ev := telemetry.CycleEvent{
+		Day:    s.fleet.Day(),
+		Policy: specName(s.Compiled.Spec),
+		Funnel: telemetry.FunnelTrace{
+			Generated:  d.Generated,
+			AfterPre:   d.AfterPreFilters,
+			AfterStats: d.AfterStatsFilter,
+			AfterTrait: d.AfterTraitFilter,
+			Ranked:     len(d.Ranked),
+			Selected:   len(d.Selected),
+		},
+		FilesReduced:    rep.FilesReduced,
+		MetadataReduced: rep.MetadataReduced,
+		BytesRewritten:  rep.BytesRewritten,
+		GBHrSpent:       rep.ActualGBHr,
+		WallMS:          float64(wall) / float64(time.Millisecond),
+	}
+	if s.Feed != nil {
+		scan := s.Feed.LastScan()
+		cc := s.Feed.Cache.Counters()
+		ev.Scan = telemetry.ScanTrace{
+			Mode:        map[bool]string{true: "full", false: "dirty"}[scan.Full],
+			Scanned:     scan.Scanned,
+			Pool:        scan.Pool,
+			CacheHits:   cc.Hits - s.prevCache.Hits,
+			CacheMisses: cc.Misses - s.prevCache.Misses,
+			DirtyNow:    s.Feed.Tracker.DirtyCount(),
+		}
+		s.prevCache = cc
+	} else {
+		ev.Scan = telemetry.ScanTrace{
+			Mode:    "scan",
+			Scanned: s.fleet.TableCount(),
+			Pool:    d.Generated,
+		}
+	}
+	if s.Sched != nil {
+		ev.Exec = telemetry.ExecTrace{
+			Done:           stats.Done,
+			Skipped:        stats.Skipped,
+			Conflicted:     stats.Conflicted,
+			Deferred:       stats.Deferred,
+			Failed:         stats.Failed,
+			Conflicts:      stats.Conflicts,
+			Retries:        stats.Retries,
+			Workers:        stats.Workers,
+			Shards:         stats.Shards,
+			MakespanMS:     stats.Makespan.Milliseconds(),
+			UtilizationPct: 100 * stats.Utilization(),
+			MaxQueueDepth:  stats.MaxQueueDepth,
+		}
+	} else {
+		done := len(rep.Results) - rep.Skipped - rep.Errors - rep.Conflicts
+		ev.Exec = telemetry.ExecTrace{
+			Done:       done,
+			Skipped:    rep.Skipped,
+			Conflicted: rep.Conflicts,
+			Failed:     rep.Errors,
+			Conflicts:  rep.Conflicts,
+		}
+	}
+	counts := rep.ActionCounts()
+	for _, a := range core.ActionTypes() {
+		if counts[a] > 0 {
+			ev.Outcomes = append(ev.Outcomes, telemetry.OutcomeTrace{Action: a.String(), Done: counts[a]})
+		}
+	}
+	ev.Fleet = telemetry.FleetTrace{
+		Tables:      s.fleet.TableCount(),
+		Files:       s.fleet.TotalFiles(),
+		MetaObjects: s.fleet.TotalMetadataObjects(),
+		TinyFrac:    s.fleet.TinyFileFraction(),
+	}
+	telemetry.DefaultTracer().Emit(ev)
+}
+
+// specName names a compiled spec for trace events.
+func specName(sp *policy.Spec) string {
+	if sp == nil || sp.Name == "" {
+		return "(unnamed)"
+	}
+	return sp.Name
 }

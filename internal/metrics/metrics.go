@@ -1,8 +1,14 @@
-// Package metrics provides the telemetry primitives the experiments use to
-// report results in the shape of the paper's tables and figures: size
+// Package metrics provides the reporting primitives the experiments use to
+// render results in the shape of the paper's tables and figures: size
 // histograms (Figures 1–2), time series with normalization and smoothing
 // (Figures 10–11), candlestick summaries of latency distributions
 // (Figure 8), and a plain-text table renderer.
+//
+// It is the offline, after-the-run half of the observability story. The
+// runtime half is internal/telemetry: the Prometheus-style registry and
+// decision-trace stream a running daemon exports while it works (see
+// docs/observability.md). benchrunner renders with this package;
+// autocompd exposes the other.
 package metrics
 
 import (

@@ -251,7 +251,17 @@ func (e *Engine) runCycle(day int) {
 	}
 	ct := e.cycleTrace(day, reloaded, rep, stats)
 	e.trace.Cycles = append(e.trace.Cycles, ct)
+	// Telemetry snapshot, published after the trace record is sealed:
+	// strictly passive, so the golden bytes cannot depend on it.
+	mScenarioCycles.With(e.spec.Name).Inc()
+	mScenarioDay.Set(float64(day))
+	if reloaded {
+		mScenarioReloads.Inc()
+	}
+	mScenarioInjectedFailures.Add(float64(e.inj.Failures))
+	mScenarioDrops.Add(float64(len(e.inj.Drops)))
 	if err := e.checkInvariants(rep, stats); err != nil {
+		mScenarioInvariantFailures.Inc()
 		e.err = fmt.Errorf("scenario: day %d invariants: %w", day, err)
 		return
 	}

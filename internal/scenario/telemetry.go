@@ -1,0 +1,32 @@
+package scenario
+
+import (
+	"autocomp/internal/telemetry"
+)
+
+// Runtime metrics of the scenario engine. Publication is strictly
+// passive — the engine records what each cycle did after the trace
+// record is built, never touching a component RNG stream or any state
+// the pipeline reads — so the golden traces stay byte-identical with
+// instrumentation enabled (pinned by the telemetry parity test).
+var (
+	mScenarioCycles = telemetry.Default().CounterVec(
+		"autocomp_scenario_cycles_total",
+		"Scenario-engine cycles run, by scenario name.",
+		"scenario")
+	mScenarioInvariantFailures = telemetry.Default().Counter(
+		"autocomp_scenario_invariant_failures_total",
+		"Cycles whose post-cycle invariant audit failed.")
+	mScenarioReloads = telemetry.Default().Counter(
+		"autocomp_scenario_policy_reloads_total",
+		"Policy hot reloads applied at cycle boundaries.")
+	mScenarioInjectedFailures = telemetry.Default().Counter(
+		"autocomp_scenario_injected_failures_total",
+		"Commit failures injected by fault specs.")
+	mScenarioDrops = telemetry.Default().Counter(
+		"autocomp_scenario_injected_drops_total",
+		"Tables dropped by fault specs.")
+	mScenarioDay = telemetry.Default().Gauge(
+		"autocomp_scenario_day",
+		"Simulation day of the most recently active scenario engine.")
+)

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"autocomp/internal/telemetry"
+)
+
+// TestTelemetryScrapeDoesNotPerturbGoldenTraces is the passivity
+// acceptance check for the runtime telemetry plane: a scenario run with
+// a scraper hammering the default registry and tracer the whole time
+// must still produce the committed golden trace byte for byte. If
+// instrumentation ever takes a decision-path dependency — draws from a
+// component RNG stream, reorders map iteration the pipeline consumes,
+// feeds a recorded value back into a decision — this diverges.
+func TestTelemetryScrapeDoesNotPerturbGoldenTraces(t *testing.T) {
+	for _, name := range []string{"steady-state", "hot-partition-skew", "policy-reload"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := LoadFile(filepath.Join(scenariosDir(), name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						_ = telemetry.Default().Render()
+						_ = telemetry.DefaultTracer().Recent(8)
+						_, _ = telemetry.DefaultTracer().Last()
+					}
+				}
+			}()
+			tr, err := Run(s)
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(goldenPath(name))
+			if err != nil {
+				t.Fatalf("missing golden trace: %v", err)
+			}
+			if diff := DiffTraces(want, tr.Marshal()); diff != nil {
+				t.Fatalf("instrumented run diverged from golden %s:\n%s", name, joinLines(diff))
+			}
+		})
+	}
+}

@@ -408,7 +408,9 @@ func (p *Pool) Submit(selected []*core.Candidate) {
 		p.jobs = append(p.jobs, j)
 		p.enqueue(j)
 		p.stats.Submitted++
+		mSubmitted.Inc()
 	}
+	mQueueDepth.Set(float64(len(p.pending)))
 	if len(selected) > 0 && p.notify != nil {
 		p.notify()
 	}
@@ -453,6 +455,8 @@ func (p *Pool) next(now time.Duration) (j *Job, earliestReady time.Duration) {
 				GBHr: cand.wastedGBHr,
 			}
 			p.stats.Deferred++
+			mDeferrals.Inc()
+			mJobs.With("deferred").Inc()
 			// Deferral is a terminal outcome: it closes the makespan
 			// window like any other finish (a retried job can be
 			// deferred after the last successful commit).
@@ -466,6 +470,7 @@ func (p *Pool) next(now time.Duration) (j *Job, earliestReady time.Duration) {
 			continue
 		}
 		if _, held := p.leases[cand.Candidate.Table.FullName()]; held {
+			mLeaseWaits.Inc()
 			continue
 		}
 		if !p.shardAdmits(cand) {
@@ -520,6 +525,9 @@ func (p *Pool) dispatch(j *Job, now time.Duration) {
 	j.Started = now
 	j.Waited += now - j.queuedSince
 	p.stats.TotalWait += now - j.queuedSince
+	mWaitTime.Observe((now - j.queuedSince).Seconds())
+	mWorkersBusy.Set(float64(p.running))
+	mQueueDepth.Set(float64(len(p.pending)))
 	j.startVersion = p.versionOf(j.Candidate.Table)
 	if !p.started {
 		p.started = true
@@ -560,15 +568,20 @@ func (p *Pool) commit(j *Job, now time.Duration) bool {
 	}
 	p.stats.BusyTime += now - j.Started
 
+	mWorkersBusy.Set(float64(p.running))
+
 	if p.cfg.StalenessBound >= 0 {
 		if adv := p.versionOf(j.Candidate.Table) - j.startVersion; adv > p.cfg.StalenessBound {
 			p.stats.Conflicts++
+			mConflicts.Inc()
 			// The aborted attempt ran for its full service time: its
 			// estimated cost is burned budget, not a free pass.
 			j.wastedGBHr += j.estCost
 			p.spent[j.Shard] += j.estCost
+			mSchedSpend.Add(j.estCost)
 			if j.Attempts >= p.cfg.MaxAttempts {
 				j.Status = StatusConflicted
+				mJobs.With("conflicted").Inc()
 				j.Finished = now
 				j.Result = compaction.Result{
 					Table:         name,
@@ -580,6 +593,7 @@ func (p *Pool) commit(j *Job, now time.Duration) bool {
 				return true
 			}
 			p.stats.Retries++
+			mRetries.Inc()
 			j.readyAt = now + p.backoff(j.Attempts)
 			j.queuedSince = now
 			p.enqueue(j)
@@ -589,6 +603,7 @@ func (p *Pool) commit(j *Job, now time.Duration) bool {
 
 	res := p.runner.Run(j.Candidate)
 	p.spent[j.Shard] += res.GBHr
+	mSchedSpend.Add(res.GBHr)
 	// Earlier aborted attempts were already charged to the shard; fold
 	// them into the job's reported cost so Report.ActualGBHr sees the
 	// retries' wasted work too.
@@ -599,15 +614,20 @@ func (p *Pool) commit(j *Job, now time.Duration) bool {
 	case res.Err != nil:
 		j.Status = StatusFailed
 		p.stats.Failed++
+		mJobs.With("failed").Inc()
 	case res.Conflict:
 		j.Status = StatusConflicted
 		p.stats.Conflicts++
+		mConflicts.Inc()
+		mJobs.With("conflicted").Inc()
 	case res.Skipped:
 		j.Status = StatusDone
 		p.stats.Skipped++
+		mJobs.With("skipped").Inc()
 	default:
 		j.Status = StatusDone
 		p.stats.Done++
+		mJobs.With("done").Inc()
 	}
 	p.noteFinish(j, now)
 	return true
@@ -657,6 +677,8 @@ func (p *Pool) finalize() Stats {
 	}
 	if p.started {
 		p.stats.Makespan = p.lastFinish - p.firstStart
+		mMakespan.Observe(p.stats.Makespan.Seconds())
+		mOccupancy.Observe(p.stats.Utilization())
 	}
 	if p.stats.depthSamples > 0 {
 		p.stats.MeanQueueDepth = p.stats.depthSum / float64(p.stats.depthSamples)

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Render returns the registry's state in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// values, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) Render() string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	return b.String()
+}
+
+// render writes one family in exposition format.
+func (f *family) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sers := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		sers = append(sers, f.series[k])
+	}
+	f.mu.RUnlock()
+
+	for _, s := range sers {
+		switch f.kind {
+		case kindHistogram:
+			f.renderHistogram(b, s)
+		default:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.labelValues, "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.getFloat()))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// renderHistogram writes the cumulative bucket series plus _sum/_count.
+func (f *family) renderHistogram(b *strings.Builder, s *series) {
+	var cum int64
+	for i, bound := range f.buckets {
+		cum += s.counts[i].Load()
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, s.labelValues, formatFloat(bound))
+		fmt.Fprintf(b, " %d\n", cum)
+	}
+	cum += s.counts[len(f.buckets)].Load()
+	b.WriteString(f.name)
+	b.WriteString("_bucket")
+	writeLabels(b, f.labels, s.labelValues, "+Inf")
+	fmt.Fprintf(b, " %d\n", cum)
+
+	b.WriteString(f.name)
+	b.WriteString("_sum")
+	writeLabels(b, f.labels, s.labelValues, "")
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(math.Float64frombits(s.sumBits.Load())))
+	b.WriteByte('\n')
+
+	b.WriteString(f.name)
+	b.WriteString("_count")
+	writeLabels(b, f.labels, s.labelValues, "")
+	fmt.Fprintf(b, " %d\n", s.count.Load())
+}
+
+// writeLabels renders the {k="v",...} block; le is the histogram bucket
+// bound ("" for non-bucket series).
+func writeLabels(b *strings.Builder, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	for i, n := range names {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		// %q escapes quotes, backslashes, and newlines the way the
+		// exposition format requires.
+		fmt.Fprintf(b, "%s=%q", n, values[i])
+	}
+	if le != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "le=%q", le)
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in Prometheus text exposition format — the
+// /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRenderGoldenExposition pins the exact Prometheus text-exposition
+// bytes for one of each instrument kind: sorted families, sorted label
+// values, cumulative histogram buckets with the implicit +Inf, and
+// escaped help/label strings. Scrapers parse this format byte by byte,
+// so it is pinned as a golden string, not semantically.
+func TestRenderGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests served.").Add(3)
+	qd := r.GaugeVec("test_queue_depth", "Queue depth by shard.", "shard")
+	qd.With("1").Set(5)
+	qd.With("0").Set(2.5)
+	h := r.Histogram("test_latency_seconds", "Cycle latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.CounterVec("test_escapes_total", "Help with \\ backslash\nand newline.", "path").
+		With(`a"b\c`).Inc()
+
+	want := `# HELP test_escapes_total Help with \\ backslash\nand newline.
+# TYPE test_escapes_total counter
+test_escapes_total{path="a\"b\\c"} 1
+# HELP test_latency_seconds Cycle latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 5.55
+test_latency_seconds_count 3
+# HELP test_queue_depth Queue depth by shard.
+# TYPE test_queue_depth gauge
+test_queue_depth{shard="0"} 2.5
+test_queue_depth{shard="1"} 5
+# HELP test_requests_total Total requests served.
+# TYPE test_requests_total counter
+test_requests_total 3
+`
+	if got := r.Render(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if rec.Body.String() == "" {
+		t.Error("empty exposition body")
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCycleEventStringGolden pins the daemon's per-cycle log format —
+// the single renderer shared by the log, the JSONL stream, and
+// /statusz.
+func TestCycleEventStringGolden(t *testing.T) {
+	ev := CycleEvent{
+		Day:    3,
+		Policy: "default",
+		Funnel: FunnelTrace{Generated: 1217, Selected: 1217},
+		Scan:   ScanTrace{Mode: "dirty", Scanned: 412, Pool: 388, CacheHits: 361, CacheMisses: 51, DirtyNow: 0},
+		Exec: ExecTrace{
+			Workers: 8, Shards: 4, MakespanMS: 7_606_000, UtilizationPct: 96,
+			MaxQueueDepth: 1216, Conflicts: 1, Retries: 1, Deferred: 0,
+		},
+		Outcomes: []OutcomeTrace{
+			{Action: "data-compaction", Done: 613},
+			{Action: "snapshot-expiry", Done: 31},
+			{Action: "metadata-checkpoint", Done: 19},
+			{Action: "manifest-rewrite", Done: 122},
+		},
+		FilesReduced: 410451,
+		GBHrSpent:    614.4,
+		Fleet:        FleetTrace{Tables: 1000, Files: 138814, MetaObjects: 8117, TinyFrac: 0.37},
+	}
+	want := "day   3: candidates=1217 selected=1217 reduced=  410451 files  cost=    0.6 TBHr  actions[data=613 expire=31 ckpt=19 manifest=122]  fleet=   138814 files     8117 meta (  37% tiny)\n" +
+		"         sched: makespan= 2h6m46s util= 96%  queue[max=1216]  conflicts=  1 retries=  1 deferred=  0\n" +
+		"         incr:  scanned= 412 tables (dirty-scan)  pool= 388  observes=  51 cache-hits= 361  dirty-now=0"
+	if got := ev.String(); got != want {
+		t.Errorf("log rendering drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Serial, non-incremental cycles render the day line only.
+	plain := CycleEvent{Day: 1, Scan: ScanTrace{Mode: "scan"}}
+	if s := plain.String(); strings.Contains(s, "\n") {
+		t.Errorf("serial full-scan cycle rendered extra lines:\n%s", s)
+	}
+}
+
+func TestTracerRingAndJSONL(t *testing.T) {
+	tr := NewTracer(3)
+	var sink bytes.Buffer
+	tr.SetWriter(&sink)
+	for d := 1; d <= 5; d++ {
+		tr.Emit(CycleEvent{Day: d})
+	}
+	if tr.Seq() != 5 {
+		t.Errorf("Seq = %d, want 5", tr.Seq())
+	}
+	last, ok := tr.Last()
+	if !ok || last.Day != 5 || last.Seq != 5 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	recent := tr.Recent(10)
+	if len(recent) != 3 || recent[0].Day != 3 || recent[2].Day != 5 {
+		t.Errorf("ring retained wrong window: %+v", recent)
+	}
+	lines := strings.Split(strings.TrimSuffix(sink.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("JSONL stream has %d lines, want 5", len(lines))
+	}
+	var ev CycleEvent
+	if err := json.Unmarshal([]byte(lines[4]), &ev); err != nil {
+		t.Fatalf("JSONL line does not parse: %v", err)
+	}
+	if ev.Seq != 5 || ev.Day != 5 {
+		t.Errorf("JSONL line carries seq=%d day=%d, want 5/5", ev.Seq, ev.Day)
+	}
+}
+
+func TestTracerEmptyLast(t *testing.T) {
+	if _, ok := NewTracer(4).Last(); ok {
+		t.Error("empty tracer reported a last event")
+	}
+}
