@@ -29,6 +29,15 @@ func (st *statusState) update(policy string, day int, done bool) {
 	st.done = done
 }
 
+// finish marks the run done without disturbing the policy name the
+// last cycle reported (it may have hot-reloaded mid-run).
+func (st *statusState) finish(day int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.day = day
+	st.done = true
+}
+
 // StatusSnapshot is the /statusz payload: daemon identity plus the
 // decision-trace view of the fleet, dirty set, and scheduler — the same
 // CycleEvents the log lines render, so the three views cannot drift.
@@ -64,11 +73,19 @@ func (st *statusState) snapshot() StatusSnapshot {
 	return snap
 }
 
+// httpServer pairs the daemon's http.Server with its bound address
+// (useful with ":0") so main can announce it and shut it down
+// gracefully.
+type httpServer struct {
+	srv  *http.Server
+	addr string
+}
+
 // serveTelemetry binds listen and serves /metrics (Prometheus text
-// format), /statusz (JSON daemon snapshot), /healthz, and the pprof
-// suite under /debug/pprof/. It returns the bound address (useful with
-// ":0") and serves until the process exits.
-func serveTelemetry(listen string, st *statusState) (string, error) {
+// format), /statusz (JSON daemon snapshot), /healthz, the pprof suite
+// under /debug/pprof/, and any extra routes register mounts (the
+// management API). It serves until srv.Shutdown is called.
+func serveTelemetry(listen string, st *statusState, register func(*http.ServeMux)) (*httpServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -86,11 +103,15 @@ func serveTelemetry(listen string, st *statusState) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if register != nil {
+		register(mux)
+	}
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln.Addr().String(), nil
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &httpServer{srv: srv, addr: ln.Addr().String()}, nil
 }

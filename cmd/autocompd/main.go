@@ -1,8 +1,15 @@
-// Command autocompd runs AutoComp as a standalone periodic service (§5's
-// pull deployment) over a simulated lake: a fleet of tables accretes
-// small files (and per-commit metadata) while the service wakes on its
-// schedule, decides, and maintains within its budget, printing one line
-// per cycle with a per-action breakdown.
+// Command autocompd runs AutoComp as a serving daemon (§5's pull
+// deployment, §7's shared service): a management plane hosting one or
+// more tenants, each an isolated simulated lake — a fleet of tables
+// accreting small files (and per-commit metadata) while the tenant's
+// pipeline wakes on its schedule, decides, and maintains within its
+// budget, printing one line per cycle with a per-action breakdown.
+//
+// The flags describe the `default` tenant, so a pre-management-plane
+// command line behaves exactly as before. With -listen the daemon also
+// serves the HTTP management API (docs/management.md): create more
+// tenants, push policy specs over the wire, and submit scenario runs —
+// alongside the read-only telemetry endpoints (/metrics, /statusz).
 //
 // The pipeline is policy-driven: the daemon compiles a declarative
 // policy spec (internal/policy) into its observe→decide→act
@@ -17,7 +24,7 @@
 // policy file is hot-reloadable: between cycles the daemon re-reads it,
 // and a valid edit atomically replaces the running pipeline without a
 // restart (an invalid edit is reported once and the old policy stays in
-// force).
+// force). PUT /api/tenants/default/policy stages an edit the same way.
 //
 // Spec sections map to planes: a "trigger" section makes observation
 // commit-event-driven (only dirty tables are re-observed); an
@@ -26,28 +33,40 @@
 // budgets; a "maintenance" section ranks snapshot expiry, metadata
 // checkpointing, and manifest rewriting against data compaction in one
 // MOOP under the same budget.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight tenant
+// cycles drain within -drain-timeout, the HTTP server stops accepting,
+// and the -trace JSONL stream is flushed and closed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"autocomp/internal/core"
 	"autocomp/internal/fleet"
 	"autocomp/internal/policy"
-	"autocomp/internal/sim"
+	"autocomp/internal/server"
 	"autocomp/internal/storage"
 	"autocomp/internal/telemetry"
+	"autocomp/internal/tenant"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	tables := flag.Int("tables", 1000, "fleet size")
 	days := flag.Int("days", 14, "days to simulate (one cycle per day)")
-	listen := flag.String("listen", "", "serve /metrics, /statusz, /healthz, and /debug/pprof on this address (e.g. :9090; empty = no HTTP plane); the daemon keeps serving after the run completes")
+	listen := flag.String("listen", "", "serve the management API (/api/tenants) and telemetry (/metrics, /statusz, /healthz, /debug/pprof) on this address (e.g. :9090; empty = no HTTP plane); the daemon keeps serving after the run completes")
 	tracePath := flag.String("trace", "", "append per-cycle decision-trace events to this file as JSON lines")
 	policyPath := flag.String("policy", "", "policy spec file (JSON); pipeline flags become overrides and the file hot-reloads between cycles")
+	scenariosDir := flag.String("scenarios", "examples/scenarios", "directory where the management API resolves scenario runs submitted by name")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight tenant cycles to drain")
 	k := flag.Int("k", 0, "fixed top-k selection (0 = use budget)")
 	budgetTBHr := flag.Float64("budget-tbhr", 50, "per-cycle compute budget (TBHr)")
 	quotaAdaptive := flag.Bool("quota-adaptive", true, "use quota-adaptive MOOP weights (data-only mode)")
@@ -67,22 +86,25 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
+	var traceFile *os.File
 	if *tracePath != "" {
 		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer tf.Close()
+		traceFile = tf
 		telemetry.DefaultTracer().SetWriter(tf)
 	}
 
-	clock := sim.NewClock()
-	cfg := fleet.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.InitialTables = *tables
-	cfg.DailyWriteProb = *writeFrac
-	f := fleet.New(cfg, clock)
 	model := fleet.DefaultModel(512 * storage.MB)
+	// Validation environment for the policy file: the pricing constants
+	// without a live clock (the default tenant owns its clock; compile
+	// against the fleet happens inside the tenant at swap time).
+	env := policy.Env{
+		TargetFileSize:      model.TargetFileSize,
+		ExecutorMemoryGB:    model.ExecutorMemoryGB,
+		RewriteBytesPerHour: model.RewriteBytesPerHour,
+	}
 
 	// flagSpec assembles the spec the flags describe — the same pipeline
 	// the daemon always ran, now expressed as policy data.
@@ -107,10 +129,12 @@ func main() {
 		return sp
 	}
 
-	// Load the policy: from file (flags layered on top) or from flags.
+	// Load the default tenant's policy: from file (flags layered on top)
+	// or from flags.
 	var watcher *policy.Watcher
 	var spec *policy.Spec
 	var err error
+	provenance := "flags"
 	if *policyPath != "" {
 		// Structural flags choose which built-in spec the flags assemble;
 		// a policy file already states the pipeline's structure, so they
@@ -120,7 +144,7 @@ func main() {
 				fmt.Printf("autocompd: -%s has no effect with -policy (the file defines the pipeline structure)\n", structural)
 			}
 		}
-		watcher, spec, err = policy.NewWatcher(*policyPath, f.PolicyEnv(model))
+		watcher, spec, err = policy.NewWatcher(*policyPath, env)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -128,16 +152,53 @@ func main() {
 		applyFlagOverrides(spec, set, *k, *budgetTBHr, *workers, *shards,
 			*shardBudget, *incremental, *triggerCommits, *reconcileEvery,
 			*retainSnapshots, *checkpointEvery)
+		provenance = "file:" + *policyPath
 	} else {
 		spec = flagSpec()
 	}
 
-	build := func(sp *policy.Spec) (*fleet.SpecService, error) {
-		return f.ServiceFromSpec(sp, model, fleet.SpecRunOptions{
-			WriterCommitsPerHour: *writerRate,
-		})
+	status := &statusState{policyPath: *policyPath, daysPlanned: *days}
+	opts := tenant.Options{
+		// The default tenant emits on the process-wide tracer, so -trace,
+		// /statusz, and the log lines keep their single-lake meaning.
+		Tracer:     telemetry.DefaultTracer(),
+		Provenance: provenance,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+		OnCycle: func(ev telemetry.CycleEvent, _ *core.Report) {
+			// The cycle's telemetry event is the log line: one snapshot
+			// renders the log, the JSONL trace, /statusz, and /metrics, so
+			// they cannot drift apart.
+			fmt.Println(ev.String())
+			status.update(ev.Policy, ev.Day, false)
+		},
 	}
-	svc, err := build(spec)
+	if watcher != nil {
+		// Hot reload: a changed, valid policy file swaps the pipeline in
+		// atomically between cycles; a bad edit keeps the current policy.
+		opts.PollPolicy = func() (*policy.Spec, bool, error) {
+			sp, changed, err := watcher.Poll()
+			if err != nil || !changed {
+				return nil, false, err
+			}
+			sp = sp.Clone()
+			applyFlagOverrides(sp, set, *k, *budgetTBHr, *workers, *shards,
+				*shardBudget, *incremental, *triggerCommits, *reconcileEvery,
+				*retainSnapshots, *checkpointEvery)
+			return sp, true, nil
+		}
+	}
+
+	mgr := tenant.NewManager()
+	def, err := mgr.Create(tenant.Config{
+		Name:                 "default",
+		Seed:                 *seed,
+		Days:                 *days,
+		InitialTables:        *tables,
+		DailyWriteProb:       *writeFrac,
+		WriterCommitsPerHour: *writerRate,
+	}, spec, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,65 +207,67 @@ func main() {
 	if name == "" {
 		name = "(unnamed)"
 	}
+	st := def.Status()
 	fmt.Printf("autocompd: %d tables, %d files, %d metadata objects, %.0f%% under 128MB\n",
-		f.TableCount(), f.TotalFiles(), f.TotalMetadataObjects(), 100*f.TinyFileFraction())
+		st.Fleet.Tables, st.Fleet.Files, st.Fleet.MetaObjects, 100*st.Fleet.TinyFrac)
 	fmt.Printf("policy: %s%s\n", name, map[bool]string{true: " (from " + *policyPath + ", hot-reloadable)", false: " (from flags)"}[*policyPath != ""])
-	printPlanes(svc)
-
-	status := &statusState{policyPath: *policyPath, daysPlanned: *days}
+	printPlanes(def.Service())
 	status.update(name, 0, false)
+
+	var srv *httpServer
 	if *listen != "" {
-		addr, err := serveTelemetry(*listen, status)
+		mgmt := &server.Server{
+			Mgr:          mgr,
+			ScenariosDir: *scenariosDir,
+			Logf:         opts.Logf,
+		}
+		srv, err = serveTelemetry(*listen, status, mgmt.Register)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("telemetry: listening on %s (/metrics /statusz /healthz /debug/pprof)\n", addr)
+		fmt.Printf("telemetry: listening on %s (/metrics /statusz /healthz /debug/pprof /api/tenants)\n", srv.addr)
 	}
 
-	for d := 1; d <= *days; d++ {
-		// Hot reload: a changed, valid policy file swaps the pipeline in
-		// atomically between cycles; a bad edit keeps the current policy.
-		if watcher != nil {
-			newSpec, changed, err := watcher.Poll()
-			switch {
-			case err != nil:
-				fmt.Printf("policy: reload rejected: %v (keeping %s)\n", err, name)
-			case changed:
-				newSpec = newSpec.Clone()
-				applyFlagOverrides(newSpec, set, *k, *budgetTBHr, *workers, *shards,
-					*shardBudget, *incremental, *triggerCommits, *reconcileEvery,
-					*retainSnapshots, *checkpointEvery)
-				newSvc, err := build(newSpec)
-				if err != nil {
-					fmt.Printf("policy: reload rejected: %v (keeping %s)\n", err, name)
-					break
-				}
-				svc, spec = newSvc, newSpec
-				name = spec.Name
-				if name == "" {
-					name = "(unnamed)"
-				}
-				fmt.Printf("policy: reloaded %s from %s\n", name, *policyPath)
-				printPlanes(svc)
-			}
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-		f.AdvanceDay()
-		if _, _, err := svc.RunCycle(); err != nil {
-			log.Fatal(err)
-		}
-		// The cycle's telemetry event is the log line: one snapshot
-		// renders the log, the JSONL trace, /statusz, and /metrics, so
-		// they cannot drift apart.
-		if ev, ok := telemetry.DefaultTracer().Last(); ok {
-			fmt.Println(ev.String())
-		}
-		status.update(name, d, false)
+	if err := mgr.Start(def); err != nil {
+		log.Fatal(err)
 	}
-	status.update(name, *days, true)
-	if *listen != "" {
-		fmt.Println("autocompd: run complete; still serving telemetry (interrupt to exit)")
-		select {}
+
+	var runErr error
+	select {
+	case <-def.Done():
+		runErr = def.Err()
+		status.finish(def.Day())
+		if runErr == nil && *listen != "" {
+			fmt.Println("autocompd: run complete; still serving telemetry (interrupt to exit)")
+			<-ctx.Done()
+			fmt.Println("autocompd: signal received; draining")
+		}
+	case <-ctx.Done():
+		fmt.Println("autocompd: signal received; draining")
+	}
+	stop()
+
+	// Graceful shutdown: drain in-flight tenant cycles, stop the HTTP
+	// plane, flush the decision trace.
+	if err := mgr.Shutdown(*drainTimeout); err != nil {
+		fmt.Printf("autocompd: %v\n", err)
+	}
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		_ = srv.srv.Shutdown(sctx)
+		cancel()
+	}
+	if traceFile != nil {
+		telemetry.DefaultTracer().SetWriter(nil)
+		if err := traceFile.Close(); err != nil {
+			fmt.Printf("autocompd: closing trace: %v\n", err)
+		}
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	benchrunner -exp fig6            # one experiment at paper scale
 //	benchrunner -exp all -quick      # everything, scaled down
 //	benchrunner -exp all -quick -json BENCH_autocomp.json
+//	benchrunner -check BENCH_autocomp.json   # validate a report's schema
 //	benchrunner -list
 //
 // With -json, a machine-readable bench trajectory is written alongside
@@ -64,7 +65,16 @@ func main() {
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "also write a machine-readable bench report to this file")
+	check := flag.String("check", "", "validate a previously written -json report against the schema and exit (non-zero on empty or malformed reports)")
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			log.SetFlags(0)
+			log.Fatalf("benchrunner: %s: %v", *check, err)
+		}
+		return
+	}
 
 	if *list {
 		for _, s := range experiments.All() {
@@ -126,4 +136,54 @@ func main() {
 		fmt.Printf("bench report: %s (%d experiments, %.0f ms total)\n",
 			*jsonOut, len(report.Experiments), report.TotalMS)
 	}
+}
+
+// checkReport validates a -json bench report: it must parse into the
+// schema, carry at least one experiment, and every experiment must have
+// an identity and a positive wall time and output size. CI runs this on
+// both the committed trajectory and each freshly generated report, so
+// an empty or truncated BENCH_*.json fails the bench job instead of
+// silently shipping.
+func checkReport(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("report is empty")
+	}
+	var rep benchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return fmt.Errorf("malformed report: %v", err)
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("missing go_version")
+	}
+	if len(rep.Experiments) == 0 {
+		return fmt.Errorf("no experiments in report")
+	}
+	if rep.TotalMS <= 0 {
+		return fmt.Errorf("total_ms = %v, want > 0", rep.TotalMS)
+	}
+	seen := make(map[string]bool, len(rep.Experiments))
+	for i, e := range rep.Experiments {
+		switch {
+		case e.ID == "":
+			return fmt.Errorf("experiment %d: missing id", i)
+		case seen[e.ID]:
+			return fmt.Errorf("experiment %d: duplicate id %q", i, e.ID)
+		case e.Title == "":
+			return fmt.Errorf("experiment %s: missing title", e.ID)
+		case e.DurationMS <= 0:
+			return fmt.Errorf("experiment %s: duration_ms = %v, want > 0", e.ID, e.DurationMS)
+		case e.OutputBytes <= 0:
+			return fmt.Errorf("experiment %s: output_bytes = %d, want > 0 (empty render)", e.ID, e.OutputBytes)
+		case e.Cycles < 0:
+			return fmt.Errorf("experiment %s: cycles = %v, want >= 0", e.ID, e.Cycles)
+		}
+		seen[e.ID] = true
+	}
+	fmt.Printf("bench report OK: %d experiments, %.0f ms total (%s)\n",
+		len(rep.Experiments), rep.TotalMS, rep.GoVersion)
+	return nil
 }

@@ -80,6 +80,14 @@ func main() {
 		statusCmd(flag.Args()[1:])
 		return
 	}
+	if cmd == "tenants" {
+		tenantsCmd(flag.Args()[1:])
+		return
+	}
+	if cmd == "runs" {
+		runsCmd(flag.Args()[1:])
+		return
+	}
 
 	env := buildLake(*seed, *databases)
 	switch cmd {
@@ -88,7 +96,7 @@ func main() {
 	case "metadata":
 		metadataView(env, *top)
 	default:
-		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario, status)", cmd)
+		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario, status, tenants, runs)", cmd)
 	}
 }
 
@@ -192,13 +200,21 @@ func traceOf(path string) ([]byte, error) {
 	return os.ReadFile(path)
 }
 
-// policyCmd serves the policy-plane subcommands.
+// policyCmd serves the policy-plane subcommands. show works locally
+// (one spec file) and remotely (host:port + tenant); push is always
+// remote.
 func policyCmd(args []string) {
 	if len(args) == 0 {
-		log.Fatal("lakectl policy: need a subcommand (validate, show, diff)")
+		log.Fatal("lakectl policy: need a subcommand (validate, show, diff, push)")
 	}
 	env := policy.StubEnv()
 	switch args[0] {
+	case "push":
+		if len(args) != 4 {
+			log.Fatal("lakectl policy push: need <host:port> <tenant> <spec.json>")
+		}
+		remotePolicyPush(args[1], args[2], args[3])
+		return
 	case "validate":
 		if len(args) < 2 {
 			log.Fatal("lakectl policy validate: need at least one spec file")
@@ -224,8 +240,12 @@ func policyCmd(args []string) {
 			os.Exit(1)
 		}
 	case "show":
+		if len(args) == 3 {
+			remotePolicyShow(args[1], args[2])
+			return
+		}
 		if len(args) != 2 {
-			log.Fatal("lakectl policy show: need exactly one spec file")
+			log.Fatal("lakectl policy show: need one spec file, or <host:port> <tenant>")
 		}
 		spec, err := policy.LoadFile(args[1])
 		if err != nil {
@@ -261,7 +281,7 @@ func policyCmd(args []string) {
 			fmt.Println(l)
 		}
 	default:
-		log.Fatalf("lakectl policy: unknown subcommand %q (have: validate, show, diff)", args[0])
+		log.Fatalf("lakectl policy: unknown subcommand %q (have: validate, show, diff, push)", args[0])
 	}
 }
 

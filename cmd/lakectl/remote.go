@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"autocomp/internal/metrics"
+	"autocomp/internal/telemetry"
+	"autocomp/internal/tenant"
+)
+
+// apiClient speaks autocompd's management API (docs/management.md).
+type apiClient struct {
+	base   string
+	client *http.Client
+}
+
+// newAPIClient normalizes host:port into a base URL.
+func newAPIClient(addr string) *apiClient {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &apiClient{
+		base: strings.TrimSuffix(addr, "/"),
+		// Generous timeout: runs watch holds the events stream open.
+		client: &http.Client{Timeout: 10 * time.Minute},
+	}
+}
+
+// do issues a request, decoding a JSON body into out (skipped when out
+// is nil) and turning non-2xx statuses into the server's error message.
+func (c *apiClient) do(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}
+
+// tenantsCmd serves `lakectl tenants`:
+//
+//	tenants <host:port>                    list the daemon's tenants
+//	tenants create <host:port> <cfg.json>  create (and start) a tenant
+func tenantsCmd(args []string) {
+	if len(args) == 0 {
+		log.Fatal("lakectl tenants: need <host:port> or: create <host:port> <config.json>")
+	}
+	if args[0] == "create" {
+		if len(args) != 3 {
+			log.Fatal("lakectl tenants create: need <host:port> <config.json>")
+		}
+		body, err := os.ReadFile(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := newAPIClient(args[1])
+		var snap tenant.Snapshot
+		if err := c.do(http.MethodPost, "/api/tenants", body, &snap); err != nil {
+			log.Fatalf("lakectl tenants create: %v", err)
+		}
+		fmt.Printf("created tenant %s (%s, policy %s, %d days)\n",
+			snap.Name, snap.State, snap.Policy, snap.DaysPlanned)
+		return
+	}
+	c := newAPIClient(args[0])
+	var snaps []tenant.Snapshot
+	if err := c.do(http.MethodGet, "/api/tenants", nil, &snaps); err != nil {
+		log.Fatalf("lakectl tenants: %v", err)
+	}
+	var rows [][]string
+	for _, s := range snaps {
+		rows = append(rows, []string{
+			s.Name, s.State.String(),
+			fmt.Sprintf("%d/%d", s.Day, s.DaysPlanned),
+			s.Policy, s.Provenance,
+			fmt.Sprintf("%d", s.Fleet.Tables),
+			fmt.Sprintf("%d", s.Fleet.Files),
+			fmt.Sprintf("%d", s.Runs),
+		})
+	}
+	fmt.Println(metrics.RenderTable(
+		[]string{"Tenant", "State", "Day", "Policy", "Source", "Tables", "Files", "Runs"}, rows))
+}
+
+// remotePolicyShow renders GET /api/tenants/{t}/policy.
+func remotePolicyShow(addr, tenantName string) {
+	c := newAPIClient(addr)
+	var view struct {
+		Name       string          `json:"name"`
+		Provenance string          `json:"provenance"`
+		Spec       json.RawMessage `json:"spec"`
+	}
+	if err := c.do(http.MethodGet, "/api/tenants/"+tenantName+"/policy", nil, &view); err != nil {
+		log.Fatalf("lakectl policy show: %v", err)
+	}
+	fmt.Printf("tenant %s runs %s (source: %s)\n\n", tenantName, view.Name, view.Provenance)
+	var buf bytes.Buffer
+	if json.Indent(&buf, view.Spec, "", "  ") == nil {
+		fmt.Println(buf.String())
+	} else {
+		fmt.Println(string(view.Spec))
+	}
+}
+
+// remotePolicyPush sends PUT /api/tenants/{t}/policy and prints the
+// accepted diff (or the compile errors a rejection reports).
+func remotePolicyPush(addr, tenantName, specPath string) {
+	body, err := os.ReadFile(specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := newAPIClient(addr)
+	var resp struct {
+		Policy  string   `json:"policy"`
+		Diff    []string `json:"diff"`
+		Applied string   `json:"applied"`
+	}
+	if err := c.do(http.MethodPut, "/api/tenants/"+tenantName+"/policy", body, &resp); err != nil {
+		log.Fatalf("lakectl policy push: %v", err)
+	}
+	fmt.Printf("pushed %s to tenant %s (applies at %s)\n", resp.Policy, tenantName, resp.Applied)
+	if len(resp.Diff) == 0 {
+		fmt.Println("no changes against the running spec")
+		return
+	}
+	for _, l := range resp.Diff {
+		fmt.Println("  " + l)
+	}
+}
+
+// runsCmd serves `lakectl runs`:
+//
+//	runs submit <host:port> <tenant> <scenario>   submit by shipped name,
+//	                         or by file when <scenario> is a .json path
+//	runs watch <host:port> <tenant> <run-id>      stream per-cycle events
+//	runs list <host:port> <tenant>                list the tenant's runs
+func runsCmd(args []string) {
+	if len(args) == 0 {
+		log.Fatal("lakectl runs: need a subcommand (submit, watch, list)")
+	}
+	switch args[0] {
+	case "submit":
+		if len(args) != 4 {
+			log.Fatal("lakectl runs submit: need <host:port> <tenant> <scenario-name-or-file.json>")
+		}
+		c := newAPIClient(args[1])
+		var body []byte
+		if strings.HasSuffix(args[3], ".json") {
+			spec, err := os.ReadFile(args[3])
+			if err != nil {
+				log.Fatal(err)
+			}
+			req := map[string]json.RawMessage{"spec": spec}
+			body, _ = json.Marshal(req)
+		} else {
+			body, _ = json.Marshal(map[string]string{"scenario": args[3]})
+		}
+		var info tenant.RunInfo
+		if err := c.do(http.MethodPost, "/api/tenants/"+args[2]+"/runs", body, &info); err != nil {
+			log.Fatalf("lakectl runs submit: %v", err)
+		}
+		fmt.Printf("run %s submitted to tenant %s (scenario %s, seed %d, %d days)\n",
+			info.ID, info.Tenant, info.Scenario, info.Seed, info.Days)
+		fmt.Printf("watch it: lakectl runs watch %s %s %s\n", args[1], args[2], info.ID)
+	case "watch":
+		if len(args) != 4 {
+			log.Fatal("lakectl runs watch: need <host:port> <tenant> <run-id>")
+		}
+		watchRun(args[1], args[2], args[3])
+	case "list":
+		if len(args) != 3 {
+			log.Fatal("lakectl runs list: need <host:port> <tenant>")
+		}
+		c := newAPIClient(args[1])
+		var infos []tenant.RunInfo
+		if err := c.do(http.MethodGet, "/api/tenants/"+args[2]+"/runs", nil, &infos); err != nil {
+			log.Fatalf("lakectl runs list: %v", err)
+		}
+		var rows [][]string
+		for _, r := range infos {
+			rows = append(rows, []string{
+				r.ID, r.Scenario, fmt.Sprintf("%d", r.Seed),
+				fmt.Sprintf("%d/%d", r.Day, r.Days), string(r.Status), r.Error,
+			})
+		}
+		fmt.Println(metrics.RenderTable(
+			[]string{"Run", "Scenario", "Seed", "Day", "Status", "Error"}, rows))
+	default:
+		log.Fatalf("lakectl runs: unknown subcommand %q (have: submit, watch, list)", args[0])
+	}
+}
+
+// watchRun streams the run's CycleEvents as they happen, rendering each
+// with the daemon's own per-cycle format, then reports the terminal
+// status.
+func watchRun(addr, tenantName, runID string) {
+	c := newAPIClient(addr)
+	path := "/api/tenants/" + tenantName + "/runs/" + runID
+	resp, err := c.client.Get(c.base + path + "/events")
+	if err != nil {
+		log.Fatalf("lakectl runs watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		log.Fatalf("lakectl runs watch: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev telemetry.CycleEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		fmt.Println(ev.String())
+	}
+	var info tenant.RunInfo
+	if err := c.do(http.MethodGet, path, nil, &info); err != nil {
+		log.Fatalf("lakectl runs watch: %v", err)
+	}
+	fmt.Printf("run %s: %s (day %d/%d)\n", info.ID, info.Status, info.Day, info.Days)
+	if info.Error != "" {
+		log.Fatalf("lakectl runs watch: run failed: %s", info.Error)
+	}
+}

@@ -45,6 +45,14 @@ type SpecRunOptions struct {
 	// maintenance, the wrapper sees only the data-compaction candidates
 	// (the maintenance runner wraps the result for metadata actions).
 	WrapRunner func(core.Runner) core.Runner
+	// Tenant labels every CycleEvent the service emits — the tenant
+	// identity in a multi-tenant daemon (empty for single-lake use).
+	Tenant string
+	// Tracer receives the service's CycleEvents; nil means the
+	// process-wide telemetry.DefaultTracer(). Multi-tenant hosts give
+	// each tenant (and each scenario run) its own tracer so decision
+	// streams never interleave.
+	Tracer *telemetry.Tracer
 }
 
 // SpecService is a pipeline built from a declarative policy spec: the
@@ -64,6 +72,9 @@ type SpecService struct {
 	Sched *ScheduledService
 
 	fleet *Fleet
+	// tenant and tracer route the service's CycleEvents (SpecRunOptions).
+	tenant string
+	tracer *telemetry.Tracer
 	// prevCache holds the stats-cache counters at the end of the last
 	// cycle, so trace events carry per-cycle deltas.
 	prevCache changefeed.CacheCounters
@@ -83,7 +94,10 @@ func (f *Fleet) ServiceFromSpec(spec *policy.Spec, model CompactionModel, opts S
 	if err != nil {
 		return nil, err
 	}
-	out := &SpecService{Compiled: comp, fleet: f}
+	out := &SpecService{Compiled: comp, fleet: f, tenant: opts.Tenant, tracer: opts.Tracer}
+	if out.tracer == nil {
+		out.tracer = telemetry.DefaultTracer()
+	}
 	cfg := comp.Core
 	if comp.Incremental {
 		cfg, out.Feed = f.IncrementalConfig(cfg, IncrOptions{
@@ -149,6 +163,7 @@ func (s *SpecService) emitCycleEvent(rep *core.Report, stats scheduler.Stats, wa
 	d := rep.Decision
 	ev := telemetry.CycleEvent{
 		Day:    s.fleet.Day(),
+		Tenant: s.tenant,
 		Policy: specName(s.Compiled.Spec),
 		Funnel: telemetry.FunnelTrace{
 			Generated:  d.Generated,
@@ -220,8 +235,11 @@ func (s *SpecService) emitCycleEvent(rep *core.Report, stats scheduler.Stats, wa
 		MetaObjects: s.fleet.TotalMetadataObjects(),
 		TinyFrac:    s.fleet.TinyFileFraction(),
 	}
-	telemetry.DefaultTracer().Emit(ev)
+	s.tracer.Emit(ev)
 }
+
+// Tracer returns the tracer this service emits CycleEvents to.
+func (s *SpecService) Tracer() *telemetry.Tracer { return s.tracer }
 
 // specName names a compiled spec for trace events.
 func specName(sp *policy.Spec) string {

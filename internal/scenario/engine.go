@@ -11,6 +11,7 @@ import (
 	"autocomp/internal/scheduler"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
+	"autocomp/internal/telemetry"
 )
 
 // ErrInjectedFailure is the error injected commit failures report.
@@ -25,6 +26,7 @@ var ErrInjectedFailure = errors.New("scenario: injected commit failure")
 // The engine is single-threaded and not safe for concurrent use.
 type Engine struct {
 	spec  *Spec
+	opts  EngineOptions
 	clock *sim.Clock
 	queue *sim.EventQueue
 	fleet *fleet.Fleet
@@ -55,13 +57,34 @@ type Engine struct {
 	OnCycle func(day int, rep *core.Report)
 }
 
+// EngineOptions carries host-side wiring that is not part of the
+// scenario itself: how the run's telemetry is labeled and where its
+// CycleEvents go. The zero value (no tenant, the process-wide default
+// tracer) matches the pre-tenant behaviour.
+type EngineOptions struct {
+	// Tenant labels the run's CycleEvents (multi-tenant hosts).
+	Tenant string
+	// Tracer receives the run's CycleEvents; nil means the process-wide
+	// telemetry.DefaultTracer().
+	Tracer *telemetry.Tracer
+}
+
 // NewEngine validates spec and builds a ready-to-run engine at day 0.
 func NewEngine(spec *Spec) (*Engine, error) {
+	return NewEngineOpts(spec, EngineOptions{})
+}
+
+// NewEngineOpts is NewEngine with host-side telemetry wiring — a
+// management plane uses it to stream each run's decision trace on its
+// own tracer under its tenant's label. The options never influence a
+// decision, so the canonical trace bytes are identical for any options.
+func NewEngineOpts(spec *Spec, opts EngineOptions) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Engine{
 		spec:     spec,
+		opts:     opts,
 		clock:    sim.NewClock(),
 		model:    fleet.DefaultModel(512 * storage.MB),
 		patterns: buildPatterns(spec),
@@ -133,7 +156,7 @@ func specName(ps *policy.Spec) string {
 
 // setPolicy compiles ps against the fleet and swaps the running service.
 func (e *Engine) setPolicy(ps *policy.Spec) error {
-	opts := fleet.SpecRunOptions{}
+	opts := fleet.SpecRunOptions{Tenant: e.opts.Tenant, Tracer: e.opts.Tracer}
 	if f := e.spec.Faults; f != nil {
 		opts.WriterCommitsPerHour = f.WriterCommitsPerHour
 		if f.CommitFailureProb > 0 {

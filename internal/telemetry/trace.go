@@ -82,6 +82,10 @@ type CycleEvent struct {
 	Seq int64 `json:"seq"`
 	// Day is the substrate's simulation day.
 	Day int `json:"day"`
+	// Tenant names the tenant whose pipeline ran the cycle (empty for
+	// single-lake processes, which keeps single-tenant JSONL traces
+	// byte-compatible with pre-tenant readers).
+	Tenant string `json:"tenant,omitempty"`
 	// Policy names the policy spec the cycle ran under.
 	Policy string `json:"policy"`
 

@@ -1,0 +1,40 @@
+package tenant
+
+import "autocomp/internal/telemetry"
+
+// Management-plane metrics, all labeled by tenant so one /metrics
+// endpoint serves every lake the daemon hosts without interleaving
+// their counters (label isolation is pinned by the manager race test).
+var (
+	mTenants = telemetry.Default().Gauge(
+		"autocomp_tenants",
+		"Tenants registered in the management plane.")
+	mTenantState = telemetry.Default().GaugeVec(
+		"autocomp_tenant_state",
+		"Tenant lifecycle state (0 created, 1 running, 2 paused, 3 stopped).",
+		"tenant")
+	mTenantCycles = telemetry.Default().CounterVec(
+		"autocomp_tenant_cycles_total",
+		"OODA cycles completed, by tenant.",
+		"tenant")
+	mTenantDay = telemetry.Default().GaugeVec(
+		"autocomp_tenant_day",
+		"Last completed simulation day, by tenant.",
+		"tenant")
+	mTenantFilesReduced = telemetry.Default().CounterVec(
+		"autocomp_tenant_files_reduced_total",
+		"Files removed by maintenance actions, by tenant.",
+		"tenant")
+	mTenantGBHrSpent = telemetry.Default().CounterVec(
+		"autocomp_tenant_gbhr_spent_total",
+		"Compute spend in GB-hours, by tenant.",
+		"tenant")
+	mTenantPolicyPushes = telemetry.Default().CounterVec(
+		"autocomp_tenant_policy_pushes_total",
+		"Policy pushes received over the management API, by tenant and outcome (accepted, rejected, swap-failed).",
+		"tenant", "outcome")
+	mTenantRuns = telemetry.Default().CounterVec(
+		"autocomp_tenant_runs_total",
+		"Scenario runs submitted, by tenant and outcome (done, failed, rejected).",
+		"tenant", "status")
+)
