@@ -17,7 +17,8 @@
 // (unified maintenance with an 8-worker execution plane by default);
 // with -policy file.json the spec comes from the file and the knob
 // flags (-k, -budget-tbhr, -workers, -shards, -shard-budget-tbhr,
-// -incremental, -trigger-commits, -reconcile-every, -retain-snapshots,
+// -decide-shards, -decide-workers, -incremental, -trigger-commits,
+// -reconcile-every, -retain-snapshots,
 // -checkpoint-every) act as overrides when set explicitly — the
 // structural flags (-unified, -quota-adaptive) do not apply to a file
 // and are reported as ignored. The
@@ -76,6 +77,8 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent compaction job slots (0 = serial act phase)")
 	shards := flag.Int("shards", 4, "GBHr budget shards for the execution plane")
 	shardBudget := flag.Float64("shard-budget-tbhr", 0, "per-shard per-cycle budget (TBHr, 0 = unlimited)")
+	decideShards := flag.Int("decide-shards", 0, "partition the decide phase across N table-hash shards run in parallel (byte-identical decisions; <=1 = serial decide; implies the execution plane)")
+	decideWorkers := flag.Int("decide-workers", 0, "goroutines working decide shards (0 = min(decide-shards, GOMAXPROCS))")
 	writerRate := flag.Float64("writer-rate", 30, "live writer commits/hour racing the compactor (scheduled mode)")
 	incremental := flag.Bool("incremental", false, "commit-event-driven observation: re-observe only dirty tables")
 	writeFrac := flag.Float64("write-frac", 1, "per-table probability of writing on a given day, in (0,1); values outside that range (including 0) mean every table writes daily")
@@ -124,8 +127,11 @@ func main() {
 			"k": true, "budget-tbhr": true, "workers": true, "shards": true,
 			"shard-budget-tbhr": true, "incremental": true,
 			"trigger-commits": *incremental, "reconcile-every": *incremental,
+			"decide-shards":  set["decide-shards"],
+			"decide-workers": set["decide-workers"],
 		}, *k, *budgetTBHr, *workers, *shards, *shardBudget,
-			*incremental, *triggerCommits, *reconcileEvery, 0, 0)
+			*incremental, *triggerCommits, *reconcileEvery, 0, 0,
+			*decideShards, *decideWorkers)
 		return sp
 	}
 
@@ -151,7 +157,7 @@ func main() {
 		spec = spec.Clone()
 		applyFlagOverrides(spec, set, *k, *budgetTBHr, *workers, *shards,
 			*shardBudget, *incremental, *triggerCommits, *reconcileEvery,
-			*retainSnapshots, *checkpointEvery)
+			*retainSnapshots, *checkpointEvery, *decideShards, *decideWorkers)
 		provenance = "file:" + *policyPath
 	} else {
 		spec = flagSpec()
@@ -185,7 +191,7 @@ func main() {
 			sp = sp.Clone()
 			applyFlagOverrides(sp, set, *k, *budgetTBHr, *workers, *shards,
 				*shardBudget, *incremental, *triggerCommits, *reconcileEvery,
-				*retainSnapshots, *checkpointEvery)
+				*retainSnapshots, *checkpointEvery, *decideShards, *decideWorkers)
 			return sp, true, nil
 		}
 	}
@@ -277,6 +283,9 @@ func printPlanes(svc *fleet.SpecService) {
 		sc := svc.Compiled.Sched
 		fmt.Printf("execution plane: %d workers over %d shards\n", sc.Workers, sc.Shards)
 	}
+	if svc.Compiled.DecideShards > 1 {
+		fmt.Printf("decide plane: sharded over %d shards\n", svc.Compiled.DecideShards)
+	}
 	if svc.Feed != nil {
 		tr := svc.Compiled.Trigger
 		fmt.Printf("observation plane: incremental (trigger every %d commits, reconcile every %d cycles)\n",
@@ -289,7 +298,8 @@ func printPlanes(svc *fleet.SpecService) {
 func applyFlagOverrides(sp *policy.Spec, set map[string]bool,
 	k int, budgetTBHr float64, workers, shards int, shardBudgetTBHr float64,
 	incremental bool, triggerCommits int64, reconcileEvery int,
-	retainSnapshots int, checkpointEvery int64) {
+	retainSnapshots int, checkpointEvery int64,
+	decideShards, decideWorkers int) {
 
 	if set["k"] && k > 0 {
 		sp.Selector = &policy.Component{Name: "top-k", Params: map[string]any{"k": float64(k)}}
@@ -310,6 +320,18 @@ func applyFlagOverrides(sp *policy.Spec, set map[string]bool,
 		if set["shard-budget-tbhr"] {
 			sp.Execution.ShardBudgetGBHr = shardBudgetTBHr * 1024
 		}
+	}
+	if set["decide-shards"] {
+		if decideShards <= 1 {
+			if sp.Execution != nil {
+				sp.Execution.DecideShards, sp.Execution.DecideWorkers = 0, 0
+			}
+		} else {
+			ensureExecution(sp).DecideShards = decideShards
+		}
+	}
+	if set["decide-workers"] && sp.Execution != nil && sp.Execution.DecideShards > 1 {
+		sp.Execution.DecideWorkers = decideWorkers
 	}
 	if set["incremental"] {
 		if incremental {

@@ -48,6 +48,10 @@ type benchExperiment struct {
 	// experiments that exercise the storage/engine layers directly.
 	Cycles       float64 `json:"cycles"`
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// Details carries experiment-specific structured results for
+	// experiments that expose them (e.g. the shard sweep's measured and
+	// projected decide speedups per shard count).
+	Details any `json:"details,omitempty"`
 }
 
 // benchReport is the top-level -json payload.
@@ -120,6 +124,9 @@ func main() {
 		}
 		if be.Cycles > 0 && elapsed > 0 {
 			be.CyclesPerSec = be.Cycles / elapsed.Seconds()
+		}
+		if d, ok := res.(interface{ Details() any }); ok {
+			be.Details = d.Details()
 		}
 		report.Experiments = append(report.Experiments, be)
 		report.TotalMS += be.DurationMS

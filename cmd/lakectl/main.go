@@ -62,6 +62,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	databases := flag.Int("databases", 4, "databases to create")
 	top := flag.Int("top", 15, "rows to show per listing")
+	flag.IntVar(&decideShards, "decide-shards", 0,
+		"run the dry-run decide phase sharded across N table-hash shards (byte-identical output; <=1 = serial)")
+	flag.IntVar(&decideWorkers, "decide-workers", 0,
+		"goroutines working decide shards (0 = min(decide-shards, GOMAXPROCS))")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -513,9 +517,23 @@ func topKSelector(top int) *policy.Component {
 	return &policy.Component{Name: "top-k", Params: map[string]any{"k": float64(top)}}
 }
 
+// decideShards and decideWorkers shard the dry-run decide phase when
+// set (-decide-shards/-decide-workers) — same bytes out, parallel in.
+var decideShards, decideWorkers int
+
 // dryRun compiles a spec against the catalog substrate and runs the
 // decide phase only.
 func dryRun(env *bench.Env, spec *policy.Spec) *core.Decision {
+	if decideShards > 1 {
+		// The decide knobs live on the execution section; a decide-only
+		// dry run never schedules jobs, so one worker slot satisfies the
+		// section's validation without changing what runs.
+		spec.Execution = &policy.ExecutionSpec{
+			Workers:       1,
+			DecideShards:  decideShards,
+			DecideWorkers: decideWorkers,
+		}
+	}
 	comp, err := policy.Compile(spec, catalogEnv(env), catalogBindings(env))
 	if err != nil {
 		log.Fatal(err)

@@ -2,6 +2,7 @@ package changefeed
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autocomp/internal/core"
@@ -33,11 +34,9 @@ type CacheCounters struct {
 	Entries int
 }
 
-// StatsCache caches observe-phase statistics keyed by (table, candidate
-// ID, table version). Commit events invalidate a table's entries in
-// O(1); version keying covers any invalidation that never arrives. All
-// methods are safe for concurrent use.
-type StatsCache struct {
+// cacheStripe is one lock-striped partition of the cache, holding the
+// entries and invalidation epochs of the tables that hash to it.
+type cacheStripe struct {
 	mu sync.Mutex
 	// tables maps table full name → candidate ID → entry, so a commit
 	// event drops all of a table's entries without scanning the cache.
@@ -48,73 +47,109 @@ type StatsCache struct {
 	// compaction, metadata rewrite) racing an observation could
 	// re-insert pre-mutation stats under the still-current version,
 	// where no later version advance would ever evict them.
-	epochs        map[string]int64
-	hits, misses  int64
-	invalidations int64
-	entries       int
+	epochs map[string]int64
 }
 
-// NewStatsCache returns an empty cache.
+// StatsCache caches observe-phase statistics keyed by (table, candidate
+// ID, table version). Commit events invalidate a table's entries in
+// O(1); version keying covers any invalidation that never arrives. All
+// methods are safe for concurrent use. State is lock-striped by table
+// name with the decide-shard hash (see the package doc), so the sharded
+// decide plane's parallel observe fan-out misses and fills without
+// serializing on one mutex; accounting lives in cache-level atomics and
+// is unchanged by striping.
+type StatsCache struct {
+	stripes       []*cacheStripe
+	hits, misses  atomic.Int64
+	invalidations atomic.Int64
+	entries       atomic.Int64
+}
+
+// NewStatsCache returns an empty single-stripe cache.
 func NewStatsCache() *StatsCache {
-	return &StatsCache{
-		tables: make(map[string]map[string]cacheEntry),
-		epochs: make(map[string]int64),
+	return NewStatsCacheSharded(1)
+}
+
+// NewStatsCacheSharded returns an empty cache partitioned across
+// stripes lock stripes (min 1), aligned with the decide-shard mapping.
+func NewStatsCacheSharded(stripes int) *StatsCache {
+	if stripes < 1 {
+		stripes = 1
 	}
+	sc := &StatsCache{stripes: make([]*cacheStripe, stripes)}
+	for i := range sc.stripes {
+		sc.stripes[i] = &cacheStripe{
+			tables: make(map[string]map[string]cacheEntry),
+			epochs: make(map[string]int64),
+		}
+	}
+	return sc
+}
+
+// Stripes returns the cache's lock-stripe count.
+func (sc *StatsCache) Stripes() int { return len(sc.stripes) }
+
+func (sc *StatsCache) stripe(table string) *cacheStripe {
+	return sc.stripes[core.ShardOf(table, len(sc.stripes))]
 }
 
 // Get returns the cached stats for candidate id of table at version, and
 // whether the lookup hit.
 func (sc *StatsCache) Get(table, id string, version int64) (core.Stats, bool) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if e, ok := sc.tables[table][id]; ok && e.version == version {
-		sc.hits++
+	st := sc.stripe(table)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.tables[table][id]; ok && e.version == version {
+		sc.hits.Add(1)
 		mCacheHits.Inc()
 		mObservesSaved.Inc()
 		return e.stats, true
 	}
-	sc.misses++
+	sc.misses.Add(1)
 	mCacheMisses.Inc()
 	return core.Stats{}, false
 }
 
 // Put records the stats observed for candidate id of table at version.
 func (sc *StatsCache) Put(table, id string, version int64, s core.Stats) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	sc.putLocked(table, id, version, s)
+	st := sc.stripe(table)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sc.putLocked(st, table, id, version, s)
 }
 
-func (sc *StatsCache) putLocked(table, id string, version int64, s core.Stats) {
-	m, ok := sc.tables[table]
+// putLocked inserts under st's lock, held by the caller.
+func (sc *StatsCache) putLocked(st *cacheStripe, table, id string, version int64, s core.Stats) {
+	m, ok := st.tables[table]
 	if !ok {
 		m = make(map[string]cacheEntry)
-		sc.tables[table] = m
+		st.tables[table] = m
 	}
 	if _, existed := m[id]; !existed {
-		sc.entries++
-		mCacheEntries.Set(float64(sc.entries))
+		mCacheEntries.Set(float64(sc.entries.Add(1)))
 	}
 	m[id] = cacheEntry{version: version, stats: s}
 }
 
 // epoch returns the table's invalidation epoch.
 func (sc *StatsCache) epoch(table string) int64 {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return sc.epochs[table]
+	st := sc.stripe(table)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epochs[table]
 }
 
 // putAt records the stats only if the table's invalidation epoch still
 // equals epoch — the observation is discarded when an invalidation
 // landed while it was in flight.
 func (sc *StatsCache) putAt(table, id string, version, epoch int64, s core.Stats) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if sc.epochs[table] != epoch {
+	st := sc.stripe(table)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.epochs[table] != epoch {
 		return
 	}
-	sc.putLocked(table, id, version, s)
+	sc.putLocked(st, table, id, version, s)
 }
 
 // InvalidateTable drops every cached entry of the named table — wired to
@@ -123,16 +158,17 @@ func (sc *StatsCache) putAt(table, id string, version, epoch int64, s core.Stats
 // the version (aggregate-model compactions, metadata rewrites) depend on
 // this path; versioned commits would expire naturally.
 func (sc *StatsCache) InvalidateTable(name string) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if m, ok := sc.tables[name]; ok {
-		sc.entries -= len(m)
-		delete(sc.tables, name)
+	st := sc.stripe(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m, ok := st.tables[name]; ok {
+		sc.entries.Add(int64(-len(m)))
+		delete(st.tables, name)
 	}
-	sc.epochs[name]++
-	sc.invalidations++
+	st.epochs[name]++
+	sc.invalidations.Add(1)
 	mCacheInvalidations.Inc()
-	mCacheEntries.Set(float64(sc.entries))
+	mCacheEntries.Set(float64(sc.entries.Load()))
 }
 
 // Drop removes every trace of a table — entries and its invalidation
@@ -141,36 +177,39 @@ func (sc *StatsCache) InvalidateTable(name string) {
 // flight for the table may re-insert one entry (its captured epoch
 // matches the reset one); the next full scan's RetainOnly prunes it.
 func (sc *StatsCache) Drop(name string) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if m, ok := sc.tables[name]; ok {
-		sc.entries -= len(m)
-		delete(sc.tables, name)
+	st := sc.stripe(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m, ok := st.tables[name]; ok {
+		sc.entries.Add(int64(-len(m)))
+		delete(st.tables, name)
 	}
-	delete(sc.epochs, name)
-	sc.invalidations++
+	delete(st.epochs, name)
+	sc.invalidations.Add(1)
 	mCacheInvalidations.Inc()
-	mCacheEntries.Set(float64(sc.entries))
+	mCacheEntries.Set(float64(sc.entries.Load()))
 }
 
 // RetainOnly drops every table not in keep — wired to reconciling full
 // scans, whose enumeration is authoritative, so tables that vanished
 // without a Dropped event do not leak cache state.
 func (sc *StatsCache) RetainOnly(keep map[string]struct{}) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	for name, m := range sc.tables {
-		if _, ok := keep[name]; !ok {
-			sc.entries -= len(m)
-			delete(sc.tables, name)
+	for _, st := range sc.stripes {
+		st.mu.Lock()
+		for name, m := range st.tables {
+			if _, ok := keep[name]; !ok {
+				sc.entries.Add(int64(-len(m)))
+				delete(st.tables, name)
+			}
 		}
-	}
-	for name := range sc.epochs {
-		if _, ok := keep[name]; !ok {
-			delete(sc.epochs, name)
+		for name := range st.epochs {
+			if _, ok := keep[name]; !ok {
+				delete(st.epochs, name)
+			}
 		}
+		st.mu.Unlock()
 	}
-	mCacheEntries.Set(float64(sc.entries))
+	mCacheEntries.Set(float64(sc.entries.Load()))
 }
 
 // MaxVersions returns, per cached table, the highest version any of its
@@ -178,30 +217,30 @@ func (sc *StatsCache) RetainOnly(keep map[string]struct{}) {
 // cached version beyond the table's live version would mean the cache is
 // serving observations from a state the table never reached.
 func (sc *StatsCache) MaxVersions() map[string]int64 {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	out := make(map[string]int64, len(sc.tables))
-	for name, m := range sc.tables {
-		var max int64 = -1
-		for _, e := range m {
-			if e.version > max {
-				max = e.version
+	out := make(map[string]int64)
+	for _, st := range sc.stripes {
+		st.mu.Lock()
+		for name, m := range st.tables {
+			var max int64 = -1
+			for _, e := range m {
+				if e.version > max {
+					max = e.version
+				}
 			}
+			out[name] = max
 		}
-		out[name] = max
+		st.mu.Unlock()
 	}
 	return out
 }
 
 // Counters returns a snapshot of the cache accounting.
 func (sc *StatsCache) Counters() CacheCounters {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	return CacheCounters{
-		Hits:          sc.hits,
-		Misses:        sc.misses,
-		Invalidations: sc.invalidations,
-		Entries:       sc.entries,
+		Hits:          sc.hits.Load(),
+		Misses:        sc.misses.Load(),
+		Invalidations: sc.invalidations.Load(),
+		Entries:       int(sc.entries.Load()),
 	}
 }
 

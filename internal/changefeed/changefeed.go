@@ -35,11 +35,22 @@
 // population in a mostly-cold fleet. Time-windowed generators (e.g.
 // snapshot scope) need every-cycle regeneration and are outside the
 // parity guarantee.
+//
+// Lock striping: the tracker and the stats cache partition their state
+// across S stripes keyed by core.ShardOf on the table name — the same
+// hash the sharded decide plane (internal/decideshard) partitions
+// tables with, so a decide shard's observations land on stripes no
+// other shard is writing and the decide fan-out never serializes on a
+// global mutex. Striping is invisible at the API: every method keeps
+// its exact single-lock semantics (TakeDirty still returns the dirty
+// set sorted by name, counters still aggregate), and the default
+// constructors build one stripe.
 package changefeed
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autocomp/internal/core"
@@ -151,47 +162,76 @@ type tableState struct {
 	dirty          bool
 }
 
-// Tracker maintains the per-table dirty set: which tables have seen
-// enough activity (per their trigger policy) since their last
-// observation to need re-observing. It is a Bus subscriber; all methods
-// are safe for concurrent use.
-type Tracker struct {
+// trackerStripe is one lock-striped partition of the tracker's state.
+// A table's stripe is core.ShardOf(name, stripes), so concurrent event
+// handling and decide-shard fan-out contend only within a stripe.
+type trackerStripe struct {
 	mu     sync.Mutex
-	policy PolicyFunc
 	tables map[string]*tableState
 	// dropped tombstones tables removed from the lake: a commit event
 	// racing the drop (its publisher read the hook before detachment)
 	// must not resurrect tracker state for a deleted table. Tombstones
 	// are cleared by the next authoritative full scan.
 	dropped map[string]struct{}
+}
 
-	events    int64
-	triggered int64
+// Tracker maintains the per-table dirty set: which tables have seen
+// enough activity (per their trigger policy) since their last
+// observation to need re-observing. It is a Bus subscriber; all methods
+// are safe for concurrent use. State is lock-striped by table name
+// (see the package doc); counters are tracker-level atomics so striping
+// never changes what the accessors report.
+type Tracker struct {
+	policy  PolicyFunc
+	stripes []*trackerStripe
+
+	events    atomic.Int64
+	triggered atomic.Int64
 	// dirtyNow mirrors the current dirty-set size incrementally so the
 	// telemetry gauge never needs an O(tables) recount on the event path.
-	dirtyNow int64
+	dirtyNow atomic.Int64
+}
+
+// NewTracker returns a single-stripe tracker using policy (nil = every
+// commit).
+func NewTracker(policy PolicyFunc) *Tracker {
+	return NewTrackerSharded(policy, 1)
+}
+
+// NewTrackerSharded returns a tracker whose state is partitioned across
+// stripes lock stripes (min 1), aligned with the decide-shard mapping.
+func NewTrackerSharded(policy PolicyFunc, stripes int) *Tracker {
+	if stripes < 1 {
+		stripes = 1
+	}
+	tr := &Tracker{policy: policy, stripes: make([]*trackerStripe, stripes)}
+	for i := range tr.stripes {
+		tr.stripes[i] = &trackerStripe{
+			tables:  make(map[string]*tableState),
+			dropped: make(map[string]struct{}),
+		}
+	}
+	return tr
+}
+
+// Stripes returns the tracker's lock-stripe count.
+func (tr *Tracker) Stripes() int { return len(tr.stripes) }
+
+func (tr *Tracker) stripe(name string) *trackerStripe {
+	return tr.stripes[core.ShardOf(name, len(tr.stripes))]
 }
 
 // markDirtyLocked promotes s into the dirty set (no-op when already
 // dirty), maintaining the promotion counter and the telemetry gauge.
+// The caller holds the stripe lock owning s.
 func (tr *Tracker) markDirtyLocked(s *tableState) {
 	if s.dirty {
 		return
 	}
 	s.dirty = true
-	tr.triggered++
-	tr.dirtyNow++
+	tr.triggered.Add(1)
 	mTriggered.Inc()
-	mDirtyTables.Set(float64(tr.dirtyNow))
-}
-
-// NewTracker returns a tracker using policy (nil = every commit).
-func NewTracker(policy PolicyFunc) *Tracker {
-	return &Tracker{
-		policy:  policy,
-		tables:  make(map[string]*tableState),
-		dropped: make(map[string]struct{}),
-	}
+	mDirtyTables.Set(float64(tr.dirtyNow.Add(1)))
 }
 
 // HandleEvent folds one commit event into the dirty-set state: pending
@@ -200,23 +240,23 @@ func NewTracker(policy PolicyFunc) *Tracker {
 // events dirty the table immediately (its state changed under the
 // system's own hands; the retained candidate must refresh).
 func (tr *Tracker) HandleEvent(e Event) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	tr.events++
+	tr.events.Add(1)
+	st := tr.stripe(e.Table)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if e.Dropped {
-		if s, ok := tr.tables[e.Table]; ok && s.dirty {
-			tr.dirtyNow--
-			mDirtyTables.Set(float64(tr.dirtyNow))
+		if s, ok := st.tables[e.Table]; ok && s.dirty {
+			mDirtyTables.Set(float64(tr.dirtyNow.Add(-1)))
 		}
-		delete(tr.tables, e.Table)
-		tr.dropped[e.Table] = struct{}{}
+		delete(st.tables, e.Table)
+		st.dropped[e.Table] = struct{}{}
 		return
 	}
-	if _, gone := tr.dropped[e.Table]; gone {
+	if _, gone := st.dropped[e.Table]; gone {
 		// A commit that raced the drop: the table is deleted; ignore.
 		return
 	}
-	s := tr.ensureLocked(e.Table, e.Ref)
+	s := st.ensureLocked(e.Table, e.Ref)
 	if e.Maintenance {
 		s.pendingCommits, s.pendingBytes = 0, 0
 		tr.markDirtyLocked(s)
@@ -244,11 +284,11 @@ func (tr *Tracker) HandleEvent(e Event) {
 	}
 }
 
-func (tr *Tracker) ensureLocked(name string, ref core.Table) *tableState {
-	s, ok := tr.tables[name]
+func (st *trackerStripe) ensureLocked(name string, ref core.Table) *tableState {
+	s, ok := st.tables[name]
 	if !ok {
 		s = &tableState{}
-		tr.tables[name] = s
+		st.tables[name] = s
 	}
 	if ref != nil {
 		s.ref = ref
@@ -265,23 +305,28 @@ func (tr *Tracker) ensureLocked(name string, ref core.Table) *tableState {
 // taken tables' fresh candidates are already retained and their next
 // observation is a cache miss.
 func (tr *Tracker) TakeDirty() []core.Table {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	names := make([]string, 0, len(tr.tables))
-	for name, s := range tr.tables {
-		if s.dirty && s.ref != nil {
-			names = append(names, name)
+	type taken struct {
+		name string
+		ref  core.Table
+	}
+	var all []taken
+	for _, st := range tr.stripes {
+		st.mu.Lock()
+		for name, s := range st.tables {
+			if s.dirty && s.ref != nil {
+				s.dirty = false
+				tr.dirtyNow.Add(-1)
+				all = append(all, taken{name: name, ref: s.ref})
+			}
 		}
+		st.mu.Unlock()
 	}
-	sort.Strings(names)
-	out := make([]core.Table, len(names))
-	for i, name := range names {
-		s := tr.tables[name]
-		s.dirty = false
-		tr.dirtyNow--
-		out[i] = s.ref
+	mDirtyTables.Set(float64(tr.dirtyNow.Load()))
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	out := make([]core.Table, len(all))
+	for i := range all {
+		out[i] = all[i].ref
 	}
-	mDirtyTables.Set(float64(tr.dirtyNow))
 	return out
 }
 
@@ -291,26 +336,33 @@ func (tr *Tracker) TakeDirty() []core.Table {
 // cleared (the scan observes it now), and tables absent from the list
 // are forgotten (dropped from the lake without a Dropped event).
 func (tr *Tracker) NoteFullScan(ts []core.Table) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	// The enumeration supersedes drop tombstones: a reused name is a
-	// legitimately new table from here on.
-	tr.dropped = make(map[string]struct{})
-	listed := make(map[string]struct{}, len(ts))
+	perStripe := make([][]core.Table, len(tr.stripes))
 	for _, t := range ts {
-		listed[t.FullName()] = struct{}{}
-		s := tr.ensureLocked(t.FullName(), t)
-		s.pendingCommits, s.pendingBytes = 0, 0
-		s.dirty = false
+		s := core.ShardOf(t.FullName(), len(tr.stripes))
+		perStripe[s] = append(perStripe[s], t)
 	}
-	for name := range tr.tables {
-		if _, ok := listed[name]; !ok {
-			delete(tr.tables, name)
+	for i, st := range tr.stripes {
+		st.mu.Lock()
+		// The enumeration supersedes drop tombstones: a reused name is a
+		// legitimately new table from here on.
+		st.dropped = make(map[string]struct{})
+		listed := make(map[string]struct{}, len(perStripe[i]))
+		for _, t := range perStripe[i] {
+			listed[t.FullName()] = struct{}{}
+			s := st.ensureLocked(t.FullName(), t)
+			s.pendingCommits, s.pendingBytes = 0, 0
+			s.dirty = false
 		}
+		for name := range st.tables {
+			if _, ok := listed[name]; !ok {
+				delete(st.tables, name)
+			}
+		}
+		st.mu.Unlock()
 	}
 	// Every survivor was just cleared and every absentee deleted: the
 	// dirty set is empty by construction.
-	tr.dirtyNow = 0
+	tr.dirtyNow.Store(0)
 	mDirtyTables.Set(0)
 }
 
@@ -319,45 +371,44 @@ func (tr *Tracker) NoteFullScan(ts []core.Table) {
 // table unmaintained, so it must be reconsidered next cycle even if no
 // further writer activity crosses the trigger.
 func (tr *Tracker) Redirty(name string) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	if s, ok := tr.tables[name]; ok {
+	st := tr.stripe(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.tables[name]; ok {
 		tr.markDirtyLocked(s)
 	}
 }
 
 // DirtyCount returns how many tables are currently dirty.
 func (tr *Tracker) DirtyCount() int {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	n := 0
-	for _, s := range tr.tables {
-		if s.dirty {
-			n++
+	for _, st := range tr.stripes {
+		st.mu.Lock()
+		for _, s := range st.tables {
+			if s.dirty {
+				n++
+			}
 		}
+		st.mu.Unlock()
 	}
 	return n
 }
 
 // KnownCount returns how many tables the tracker has seen.
 func (tr *Tracker) KnownCount() int {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	return len(tr.tables)
+	n := 0
+	for _, st := range tr.stripes {
+		st.mu.Lock()
+		n += len(st.tables)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // Events returns how many events the tracker has handled; Triggered
 // returns how many dirty-set promotions those events caused.
-func (tr *Tracker) Events() int64 {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	return tr.events
-}
+func (tr *Tracker) Events() int64 { return tr.events.Load() }
 
 // Triggered returns how many times a table was promoted into the dirty
 // set (by trigger fire, maintenance event, or Redirty).
-func (tr *Tracker) Triggered() int64 {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	return tr.triggered
-}
+func (tr *Tracker) Triggered() int64 { return tr.triggered.Load() }

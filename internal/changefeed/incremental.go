@@ -3,17 +3,47 @@ package changefeed
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autocomp/internal/core"
 )
 
+// feedPart is one decide shard's slice of the retained candidate pool.
+// Parts are keyed by core.ShardOf on the table name, so the sharded
+// decide plane's per-shard generation touches exactly one part and
+// parts never contend with each other. The atomic mirrors let pool
+// accounting aggregate across parts without taking their locks.
+type feedPart struct {
+	mu sync.Mutex
+	// retained maps table full name → the candidates emitted at the
+	// table's last (re)generation; clean tables re-enter the pool from
+	// here with stats served by the cache.
+	retained map[string][]*core.Candidate
+	// cands and tbls mirror the retained candidate and table counts.
+	cands atomic.Int64
+	tbls  atomic.Int64
+}
+
+// syncLocked refreshes the part's atomic mirrors; the caller holds
+// p.mu.
+func (p *feedPart) syncLocked() {
+	n := 0
+	for _, cs := range p.retained {
+		n += len(cs)
+	}
+	p.cands.Store(int64(n))
+	p.tbls.Store(int64(len(p.retained)))
+}
+
 // Feed bundles one lake's incremental-observation state: the commit
 // bus, the dirty-set tracker, the stats cache, and the retained
 // candidate pool the incremental generator re-emits for clean tables.
-// Build one with NewFeed, attach publishers to Feed.Bus, and wrap a
-// service's connector/generator/observer with Connector, Generator, and
-// Observer — the core pipeline then runs unmodified.
+// Build one with NewFeed (or NewFeedSharded to align the retained pool
+// and lock stripes with a sharded decide plane), attach publishers to
+// Feed.Bus, and wrap a service's connector/generator/observer with
+// Connector, Generator, and Observer — the core pipeline then runs
+// unmodified.
 type Feed struct {
 	// Bus receives commit events; the tracker and cache are subscribed.
 	Bus *Bus
@@ -29,42 +59,103 @@ type Feed struct {
 	// 0 disables reconciliation (cold-start full scan still happens).
 	ReconcileEvery int
 
-	mu    sync.Mutex
-	cycle int64
+	// mu guards the cycle state and the shard layout (shards, parts
+	// slice identity); the parts' contents have their own locks. Lock
+	// order is always mu before a part's mu, never the reverse.
+	mu     sync.Mutex
+	shards int
+	parts  []*feedPart
+	cycle  int64
 	// full marks the current cycle as a full enumeration.
 	full bool
 	// scanned is the table list served to the generator this cycle.
-	scanned []core.Table
-	// retained maps table full name → the candidates emitted at the
-	// table's last (re)generation; clean tables re-enter the pool from
-	// here with stats served by the cache.
-	retained map[string][]*core.Candidate
+	scanned  []core.Table
 	lastPool int
 }
 
-// NewFeed builds a feed: a fresh bus with the tracker (using policy;
-// nil = every commit) and cache invalidation subscribed, and the given
-// reconciliation interval.
+// NewFeed builds a single-shard feed: a fresh bus with the tracker
+// (using policy; nil = every commit) and cache invalidation subscribed,
+// and the given reconciliation interval.
 func NewFeed(policy PolicyFunc, reconcileEvery int) *Feed {
+	return NewFeedSharded(policy, reconcileEvery, 1)
+}
+
+// NewFeedSharded builds a feed partitioned for a sharded decide plane:
+// the retained pool splits into shards parts and the tracker and cache
+// stripe their locks to match, so decide shards generate and observe
+// without cross-shard contention. Shard count is fixed per feed; policy
+// hot-reload builds a fresh feed, which is why decide-shard changes
+// only ever take effect at a cycle boundary.
+func NewFeedSharded(policy PolicyFunc, reconcileEvery, shards int) *Feed {
+	if shards < 1 {
+		shards = 1
+	}
 	f := &Feed{
 		Bus:            NewBus(),
-		Tracker:        NewTracker(policy),
-		Cache:          NewStatsCache(),
+		Tracker:        NewTrackerSharded(policy, shards),
+		Cache:          NewStatsCacheSharded(shards),
 		ReconcileEvery: reconcileEvery,
-		retained:       make(map[string][]*core.Candidate),
+		shards:         shards,
+		parts:          newParts(shards),
 	}
 	f.Bus.Subscribe(f.Tracker.HandleEvent)
 	f.Bus.Subscribe(func(e Event) {
 		if e.Dropped {
 			f.Cache.Drop(e.Table)
 			f.mu.Lock()
-			delete(f.retained, e.Table)
+			p := f.parts[core.ShardOf(e.Table, f.shards)]
+			p.mu.Lock()
+			delete(p.retained, e.Table)
+			p.syncLocked()
+			p.mu.Unlock()
 			f.mu.Unlock()
 			return
 		}
 		f.Cache.InvalidateTable(e.Table)
 	})
 	return f
+}
+
+func newParts(shards int) []*feedPart {
+	parts := make([]*feedPart, shards)
+	for i := range parts {
+		parts[i] = &feedPart{retained: make(map[string][]*core.Candidate)}
+	}
+	return parts
+}
+
+// Shards returns the feed's retained-pool partition count.
+func (f *Feed) Shards() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards
+}
+
+// ensureShards re-partitions the retained pool when a decide plane with
+// a different shard count attaches mid-life — a robustness path (the
+// policy compiler always builds feed and engine with matching counts);
+// it rehashes every retained entry once, at a cycle boundary.
+func (f *Feed) ensureShards(shards int) {
+	if shards < 1 {
+		shards = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if shards == f.shards {
+		return
+	}
+	parts := newParts(shards)
+	for _, old := range f.parts {
+		old.mu.Lock()
+		for name, cs := range old.retained {
+			parts[core.ShardOf(name, shards)].retained[name] = cs
+		}
+		old.mu.Unlock()
+	}
+	for _, p := range parts {
+		p.syncLocked()
+	}
+	f.shards, f.parts = shards, parts
 }
 
 // Connector wraps full so Tables() serves only the dirty set between
@@ -77,7 +168,9 @@ func (f *Feed) Connector(full core.Connector) *IncrementalConnector {
 
 // Generator wraps inner so Candidates() regenerates only the tables the
 // connector served this cycle and re-emits retained candidates for the
-// rest.
+// rest. The wrapper is also a core.ShardedGenerator: a sharded decide
+// plane calls ShardCandidates per shard and each call works one
+// retained-pool part.
 func (f *Feed) Generator(inner core.Generator) *IncrementalGenerator {
 	return &IncrementalGenerator{feed: f, Inner: inner}
 }
@@ -94,7 +187,7 @@ func (f *Feed) Observer(inner core.Observer, refresh func(*core.Candidate, *core
 func (f *Feed) beginCycle(full core.Connector) []core.Table {
 	f.mu.Lock()
 	f.cycle++
-	coldStart := len(f.retained) == 0 && f.cycle == 1
+	coldStart := f.cycle == 1
 	doFull := coldStart ||
 		(f.ReconcileEvery > 0 && f.cycle%int64(f.ReconcileEvery) == 0)
 	f.full = doFull
@@ -126,6 +219,36 @@ func (f *Feed) beginCycle(full core.Connector) []core.Table {
 	mScans.With(mode).Inc()
 	mScannedTables.Set(float64(len(ts)))
 	return ts
+}
+
+// notePool refreshes the emitted-pool accounting from the parts'
+// mirrors. During a sharded cycle it runs once per finished shard; the
+// last shard leaves the exact totals.
+func (f *Feed) notePool() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var cands, tbls int64
+	for _, p := range f.parts {
+		cands += p.cands.Load()
+		tbls += p.tbls.Load()
+	}
+	f.lastPool = int(cands)
+	mPoolSize.Set(float64(cands))
+	mRetainedTables.Set(float64(tbls))
+}
+
+// isFull reports whether the current cycle is a full enumeration.
+func (f *Feed) isFull() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.full
+}
+
+// part returns the shard's retained-pool partition.
+func (f *Feed) part(shard int) *feedPart {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.parts[shard]
 }
 
 // ScanInfo describes the feed's most recent observation cycle.
@@ -187,7 +310,8 @@ func (c *IncrementalConnector) Now() time.Duration { return c.Full.Now() }
 // connector served this cycle, re-emitting every other table's retained
 // candidates unchanged. With a state-deterministic inner generator this
 // keeps the emitted pool set-equal to a full scan's (see the package
-// doc for the exact parity conditions).
+// doc for the exact parity conditions). It implements
+// core.ShardedGenerator over the feed's retained-pool parts.
 type IncrementalGenerator struct {
 	feed *Feed
 	// Inner is the wrapped whole-lake generator.
@@ -202,42 +326,109 @@ func (g *IncrementalGenerator) Name() string { return "incremental(" + g.Inner.N
 func (g *IncrementalGenerator) Candidates(tables []core.Table) []*core.Candidate {
 	fresh := g.Inner.Candidates(tables)
 	f := g.feed
+	full := f.isFull()
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	parts, shards := f.parts, f.shards
+	f.mu.Unlock()
 
-	if f.full {
+	var out []*core.Candidate
+	if full {
 		// Full rebuild: the retained pool becomes exactly this scan's
-		// output; entries of dropped tables vanish with the old map.
-		f.retained = make(map[string][]*core.Candidate, len(tables))
+		// output; entries of dropped tables vanish with the old maps.
+		for _, p := range parts {
+			p.mu.Lock()
+			p.retained = make(map[string][]*core.Candidate)
+			p.mu.Unlock()
+		}
 		for _, c := range fresh {
 			name := c.Table.FullName()
-			f.retained[name] = append(f.retained[name], c)
+			p := parts[core.ShardOf(name, shards)]
+			p.mu.Lock()
+			p.retained[name] = append(p.retained[name], c)
+			p.mu.Unlock()
 		}
-		f.lastPool = len(fresh)
-		mPoolSize.Set(float64(f.lastPool))
-		mRetainedTables.Set(float64(len(f.retained)))
-		return fresh
+		for _, p := range parts {
+			p.mu.Lock()
+			p.syncLocked()
+			p.mu.Unlock()
+		}
+		out = fresh
+	} else {
+		// Replace the regenerated tables' entries (a table whose state
+		// no longer yields candidates drops out), keep the rest.
+		for _, t := range tables {
+			name := t.FullName()
+			p := parts[core.ShardOf(name, shards)]
+			p.mu.Lock()
+			delete(p.retained, name)
+			p.mu.Unlock()
+		}
+		for _, c := range fresh {
+			name := c.Table.FullName()
+			p := parts[core.ShardOf(name, shards)]
+			p.mu.Lock()
+			p.retained[name] = append(p.retained[name], c)
+			p.mu.Unlock()
+		}
+		for _, p := range parts {
+			p.mu.Lock()
+			for _, cs := range p.retained {
+				out = append(out, cs...)
+			}
+			p.syncLocked()
+			p.mu.Unlock()
+		}
+		// Deterministic pool order; ranking is order-independent (score
+		// plus ID tie-break), so this only stabilizes logs and tests.
+		sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	}
+	f.notePool()
+	return out
+}
 
-	// Replace the regenerated tables' entries (a table whose state no
-	// longer yields candidates drops out), keep the rest.
-	for _, t := range tables {
-		delete(f.retained, t.FullName())
+// ShardCandidates implements core.ShardedGenerator: one decide shard's
+// slice of the incremental pool. tables must be the shard's partition
+// (by core.ShardOf) of the list the paired connector returned this
+// cycle; the call regenerates exactly those tables within the shard's
+// retained part and re-emits the part's remaining (clean) tables'
+// candidates. Concatenated over all shards this emits the same pool as
+// one Candidates call — the core.ShardedGenerator contract — because
+// the parts partition the same retained state Candidates operates on.
+func (g *IncrementalGenerator) ShardCandidates(shard, shards int, tables []core.Table) []*core.Candidate {
+	f := g.feed
+	f.ensureShards(shards)
+	full := f.isFull()
+	fresh := g.Inner.Candidates(tables)
+
+	p := f.part(shard)
+	p.mu.Lock()
+	var out []*core.Candidate
+	if full {
+		p.retained = make(map[string][]*core.Candidate, len(tables))
+		for _, c := range fresh {
+			name := c.Table.FullName()
+			p.retained[name] = append(p.retained[name], c)
+		}
+		out = fresh
+	} else {
+		for _, t := range tables {
+			delete(p.retained, t.FullName())
+		}
+		for _, c := range fresh {
+			name := c.Table.FullName()
+			p.retained[name] = append(p.retained[name], c)
+		}
+		out = make([]*core.Candidate, 0, len(fresh))
+		for _, cs := range p.retained {
+			out = append(out, cs...)
+		}
+		// Per-shard deterministic order, mirroring the serial path's
+		// ID sort (ranking itself is order-independent).
+		sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	}
-	for _, c := range fresh {
-		name := c.Table.FullName()
-		f.retained[name] = append(f.retained[name], c)
-	}
-	out := make([]*core.Candidate, 0, len(fresh))
-	for _, cs := range f.retained {
-		out = append(out, cs...)
-	}
-	// Deterministic pool order; ranking is order-independent (score
-	// plus ID tie-break), so this only stabilizes logs and tests.
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
-	f.lastPool = len(out)
-	mPoolSize.Set(float64(f.lastPool))
-	mRetainedTables.Set(float64(len(f.retained)))
+	p.syncLocked()
+	p.mu.Unlock()
+	f.notePool()
 	return out
 }
 
@@ -245,11 +436,11 @@ func (g *IncrementalGenerator) Candidates(tables []core.Table) []*core.Candidate
 func (f *Feed) RetainedCount() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := 0
-	for _, cs := range f.retained {
-		n += len(cs)
+	var n int64
+	for _, p := range f.parts {
+		n += p.cands.Load()
 	}
-	return n
+	return int(n)
 }
 
 // RetainedTables returns the sorted full names of the tables whose
@@ -258,10 +449,15 @@ func (f *Feed) RetainedCount() int {
 // that left the lake).
 func (f *Feed) RetainedTables() []string {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]string, 0, len(f.retained))
-	for name := range f.retained {
-		out = append(out, name)
+	parts := f.parts
+	f.mu.Unlock()
+	var out []string
+	for _, p := range parts {
+		p.mu.Lock()
+		for name := range p.retained {
+			out = append(out, name)
+		}
+		p.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out

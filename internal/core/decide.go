@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-
-	"autocomp/internal/metrics"
 )
 
 // Ranker orders candidates for execution (the decide phase, §4.3). Rank
@@ -13,6 +11,34 @@ import (
 // rejects outright are omitted.
 type Ranker interface {
 	Rank(cands []*Candidate) []*Candidate
+}
+
+// ParallelRanker is a Ranker whose cross-candidate state factors into a
+// cheap, exactly-mergeable per-shard summary, so ranking can fan out
+// across decide shards and still produce the same scores a whole-pool
+// Rank would:
+//
+//	stats_s := ShardStats(shard_s)            // per shard, in parallel
+//	global := MergeStats([]any{stats_0, …})   // serial, cheap
+//	ranked_s := RankShard(shard_s, global)    // per shard, in parallel
+//
+// The contract RankShard must honor: for any partition of a pool, the
+// multiset of (candidate, Score) pairs across all RankShard outputs
+// equals the Rank output over the whole pool, and each output is sorted
+// by RankLess. The sharded decide plane (internal/decideshard) then
+// k-way-merges the sorted shards into the exact serial ranking; rankers
+// that cannot provide this factorization simply don't implement the
+// interface and are ranked serially.
+type ParallelRanker interface {
+	Ranker
+	// ShardStats summarizes one shard's candidates (nil when the ranker
+	// needs no cross-candidate state).
+	ShardStats(cands []*Candidate) any
+	// MergeStats folds per-shard summaries into the global state handed
+	// to every RankShard call. It must be order-independent.
+	MergeStats(parts []any) any
+	// RankShard scores and sorts one shard against the global state.
+	RankShard(cands []*Candidate, global any) []*Candidate
 }
 
 // ThresholdPolicy is the unconstrained-resource decision function (§4.3):
@@ -26,6 +52,19 @@ type ThresholdPolicy struct {
 
 // Rank implements Ranker.
 func (p ThresholdPolicy) Rank(cands []*Candidate) []*Candidate {
+	return p.RankShard(cands, nil)
+}
+
+// ShardStats implements ParallelRanker: threshold admission is purely
+// per-candidate, so no cross-shard statistics are needed.
+func (p ThresholdPolicy) ShardStats(cands []*Candidate) any { return nil }
+
+// MergeStats implements ParallelRanker.
+func (p ThresholdPolicy) MergeStats(parts []any) any { return nil }
+
+// RankShard implements ParallelRanker: admission and scoring depend only
+// on the candidate itself, so each shard ranks independently.
+func (p ThresholdPolicy) RankShard(cands []*Candidate, _ any) []*Candidate {
 	var out []*Candidate
 	for _, c := range cands {
 		v := c.Trait(p.Trait.Name())
@@ -81,27 +120,114 @@ func (r MOOPRanker) Validate() error {
 	return nil
 }
 
-// Rank implements Ranker.
+// Rank implements Ranker: one ShardStats pass over the whole pool, then
+// RankShard against those bounds — the exact same arithmetic the sharded
+// decide plane runs per shard, so serial and sharded scores are
+// bit-identical by construction.
 func (r MOOPRanker) Rank(cands []*Candidate) []*Candidate {
 	if len(cands) == 0 {
 		return nil
 	}
-	// Min-max normalize each trait across the candidate set.
-	norm := make([][]float64, len(r.Objectives))
-	for i, o := range r.Objectives {
-		raw := make([]float64, len(cands))
-		for j, c := range cands {
-			raw[j] = c.Trait(o.Trait.Name())
-		}
-		norm[i] = metrics.MinMaxNormalize(raw)
+	return r.RankShard(cands, r.ShardStats(cands))
+}
+
+// moopBounds carries per-objective trait extrema. Min/max merge exactly
+// across shards (no accumulation, no rounding), which is what makes the
+// sharded MOOP byte-identical to the serial one: the global bounds —
+// and therefore every candidate's normalized terms — are the same
+// float64s either way.
+type moopBounds struct {
+	min, max []float64
+	n        int // candidates folded in; 0 = no bounds yet
+}
+
+// ShardStats implements ParallelRanker: the per-objective min/max over
+// this shard's candidates, the only cross-candidate state min-max
+// normalization needs.
+func (r MOOPRanker) ShardStats(cands []*Candidate) any {
+	b := &moopBounds{
+		min: make([]float64, len(r.Objectives)),
+		max: make([]float64, len(r.Objectives)),
 	}
+	for _, c := range cands {
+		for i, o := range r.Objectives {
+			v := c.Trait(o.Trait.Name())
+			if b.n == 0 {
+				b.min[i], b.max[i] = v, v
+				continue
+			}
+			if v < b.min[i] {
+				b.min[i] = v
+			}
+			if v > b.max[i] {
+				b.max[i] = v
+			}
+		}
+		b.n++
+	}
+	return b
+}
+
+// MergeStats implements ParallelRanker: fold per-shard bounds into the
+// global ones. Order-independent and exact.
+func (r MOOPRanker) MergeStats(parts []any) any {
+	out := &moopBounds{
+		min: make([]float64, len(r.Objectives)),
+		max: make([]float64, len(r.Objectives)),
+	}
+	for _, p := range parts {
+		b, ok := p.(*moopBounds)
+		if !ok || b == nil || b.n == 0 {
+			continue
+		}
+		if out.n == 0 {
+			copy(out.min, b.min)
+			copy(out.max, b.max)
+			out.n = b.n
+			continue
+		}
+		for i := range r.Objectives {
+			if b.min[i] < out.min[i] {
+				out.min[i] = b.min[i]
+			}
+			if b.max[i] > out.max[i] {
+				out.max[i] = b.max[i]
+			}
+		}
+		out.n += b.n
+	}
+	return out
+}
+
+// RankShard implements ParallelRanker: score this shard's candidates
+// against the global bounds and sort them. Normalization follows
+// metrics.MinMaxNormalize exactly — constant traits map to zero, the
+// division uses halved operands so extreme spans cannot overflow, and
+// the result clamps to [0,1] — so the scores match what a whole-pool
+// Rank computes, bit for bit.
+func (r MOOPRanker) RankShard(cands []*Candidate, global any) []*Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	b, _ := global.(*moopBounds)
 	out := make([]*Candidate, len(cands))
 	copy(out, cands)
-	for j, c := range out {
+	for _, c := range out {
 		weights := r.weightsFor(c)
 		score := 0.0
 		for i, o := range r.Objectives {
-			term := weights[i] * norm[i][j]
+			var norm float64
+			if b != nil && b.n > 0 && b.max[i] != b.min[i] {
+				span := b.max[i]/2 - b.min[i]/2
+				norm = (c.Trait(o.Trait.Name())/2 - b.min[i]/2) / span
+				if norm < 0 {
+					norm = 0
+				}
+				if norm > 1 {
+					norm = 1
+				}
+			}
+			term := weights[i] * norm
 			if o.Trait.Direction() == Cost {
 				score -= term
 			} else {
@@ -149,14 +275,23 @@ func QuotaAdaptiveWeights() func(c *Candidate) []float64 {
 	}
 }
 
-// sortByScore orders descending by score, breaking ties by candidate ID
-// so identical inputs always produce identical rankings (NFR2).
+// RankLess is the ranking order: descending score, ties broken by
+// candidate ID so identical inputs always produce identical rankings
+// (NFR2). It is a total order whenever candidate IDs are unique — true
+// for every generator configuration shipped here — which is what lets
+// the sharded decide plane merge independently sorted shards into the
+// exact serial ordering.
+func RankLess(a, b *Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID() < b.ID()
+}
+
+// sortByScore orders by RankLess.
 func sortByScore(cands []*Candidate) {
 	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].Score != cands[j].Score {
-			return cands[i].Score > cands[j].Score
-		}
-		return cands[i].ID() < cands[j].ID()
+		return RankLess(cands[i], cands[j])
 	})
 }
 

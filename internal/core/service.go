@@ -32,6 +32,13 @@ type Config struct {
 	// OnReport hooks implement the feedback loop from act back to
 	// observe (§3.3): estimator ledgers, caches, telemetry.
 	OnReport []func(*Report)
+
+	// Decider, when set, replaces the serial decide pass: Service.Decide
+	// hands it the defaulted configuration and emits the decision
+	// telemetry around the call. The sharded decide plane
+	// (internal/decideshard) attaches here via the policy compiler's
+	// decide_shards knob; nil keeps the single-goroutine pass.
+	Decider Decider
 }
 
 // Service is a configured AutoComp instance.
@@ -93,9 +100,27 @@ type Decision struct {
 
 // Decide runs candidate generation, observe, orient, and decide, without
 // acting. Event-driven harnesses use it to execute the plan themselves.
+// When a Decider is configured it runs the decide pass; the serial path
+// otherwise.
 func (s *Service) Decide() (*Decision, error) {
-	cfg := s.cfg
 	started := time.Now()
+	var d *Decision
+	var err error
+	if s.cfg.Decider != nil {
+		d, err = s.cfg.Decider(&s.cfg)
+	} else {
+		d, err = s.cfg.DecideSerial()
+	}
+	if err != nil {
+		return nil, err
+	}
+	noteDecision(d, time.Since(started).Seconds())
+	return d, nil
+}
+
+// DecideSerial is the single-goroutine decide pass over the whole pool —
+// the default Decider and the parity reference for sharded engines.
+func (cfg *Config) DecideSerial() (*Decision, error) {
 	d := &Decision{At: cfg.Connector.Now()}
 
 	cands := cfg.Generator.Candidates(cfg.Connector.Tables())
@@ -105,13 +130,9 @@ func (s *Service) Decide() (*Decision, error) {
 	d.AfterPreFilters = len(cands)
 
 	for _, c := range cands {
-		mObserve.Inc()
-		stats, err := cfg.Observer.Observe(c)
-		if err != nil {
-			mObserveErrors.Inc()
-			return nil, fmt.Errorf("core: observe %s: %w", c.ID(), err)
+		if err := cfg.ObserveCandidate(c); err != nil {
+			return nil, err
 		}
-		c.Stats = stats
 	}
 	cands = applyFilters(cands, cfg.StatsFilters)
 	d.AfterStatsFilter = len(cands)
@@ -123,8 +144,22 @@ func (s *Service) Decide() (*Decision, error) {
 	d.Ranked = cfg.Ranker.Rank(cands)
 	d.Selected = cfg.Selector.Select(d.Ranked)
 	d.Plan = cfg.Scheduler.Plan(d.Selected)
-	noteDecision(d, time.Since(started).Seconds())
 	return d, nil
+}
+
+// ObserveCandidate runs the configured observer on one candidate,
+// storing the stats and maintaining the observation telemetry — the one
+// observe entry point both the serial pass and sharded engines use, so
+// the counters stay consistent whichever plane decides.
+func (cfg *Config) ObserveCandidate(c *Candidate) error {
+	mObserve.Inc()
+	stats, err := cfg.Observer.Observe(c)
+	if err != nil {
+		mObserveErrors.Inc()
+		return fmt.Errorf("core: observe %s: %w", c.ID(), err)
+	}
+	c.Stats = stats
+	return nil
 }
 
 // CandidateResult pairs a selected candidate with its execution result

@@ -1,0 +1,85 @@
+package core
+
+import "hash/fnv"
+
+// ShardOf returns the shard a table hashes onto: a stable fnv32a hash of
+// the full table name modulo the shard count. It is the one shard
+// mapping in the system — the scheduler's GBHr budget shards, the decide
+// plane's candidate shards, and the changefeed's cache/tracker stripes
+// all use it, so a table's budget shard and decide shard always align.
+func ShardOf(fullName string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(fullName))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Decider replaces the serial decide pass of Service.Decide. The hook
+// receives the service's (defaulted, validated) configuration and
+// returns the cycle's decision; Service.Decide still owns the decision
+// telemetry around the call. A sharded decide engine attaches here
+// (see internal/decideshard) — core stays free of worker-pool policy.
+type Decider func(*Config) (*Decision, error)
+
+// TableLocalGenerator marks a Generator whose output for a table list is
+// the concatenation of its per-table outputs: Candidates(ts) equals
+// appending Candidates({t}) over ts in order, and no candidate
+// references a table outside its input. Table-local generators can be
+// fanned out across decide shards by partitioning the table list; the
+// built-in scope generators and the maintenance generator all qualify,
+// while time-windowed or cross-table generators must not claim it.
+type TableLocalGenerator interface {
+	Generator
+	// TableLocal reports whether the generator currently satisfies the
+	// contract (composite generators answer for their members).
+	TableLocal() bool
+}
+
+// GeneratorIsTableLocal reports whether g declares the table-local
+// contract, enabling per-shard candidate generation.
+func GeneratorIsTableLocal(g Generator) bool {
+	tl, ok := g.(TableLocalGenerator)
+	return ok && tl.TableLocal()
+}
+
+// ShardedGenerator is a Generator that partitions its own candidate pool
+// by decide shard — stateful generators (the changefeed's retained pool)
+// implement it so each shard touches only its own partition. The
+// contract: with tables partitioned by ShardOf(FullName, shards),
+// concatenating ShardCandidates(s, shards, partition[s]) over all s must
+// emit the same candidate set as one Candidates(tables) call, and every
+// emitted candidate's table must hash onto the shard that emitted it.
+type ShardedGenerator interface {
+	Generator
+	ShardCandidates(shard, shards int, tables []Table) []*Candidate
+}
+
+// TableLocal implements TableLocalGenerator.
+func (TableScopeGenerator) TableLocal() bool { return true }
+
+// TableLocal implements TableLocalGenerator.
+func (PartitionScopeGenerator) TableLocal() bool { return true }
+
+// TableLocal implements TableLocalGenerator.
+func (HybridScopeGenerator) TableLocal() bool { return true }
+
+// TableLocal implements TableLocalGenerator: each candidate covers one
+// input table; the freshness window is resolved from the clock, not from
+// other tables.
+func (SnapshotScopeGenerator) TableLocal() bool { return true }
+
+// TableLocal implements TableLocalGenerator: a concatenation of
+// table-local generators is table-local. Partitioning tables and
+// concatenating per-shard outputs permutes the pool across shards but
+// preserves the emitted set, which is all ranking needs (score plus ID
+// tie-break is order-independent).
+func (m MultiGenerator) TableLocal() bool {
+	for _, g := range m {
+		if !GeneratorIsTableLocal(g) {
+			return false
+		}
+	}
+	return true
+}

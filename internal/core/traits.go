@@ -233,7 +233,10 @@ func (t TraitFunc) Direction() Direction { return t.Dir }
 // Value implements Trait.
 func (t TraitFunc) Value(c *Candidate) float64 { return t.Fn(c) }
 
-// orient computes every trait for every candidate.
+// Orient computes every trait for every candidate — exported for
+// external decide planes (internal/decideshard) that orient per shard.
+func Orient(cands []*Candidate, traits []Trait) { orient(cands, traits) }
+
 func orient(cands []*Candidate, traits []Trait) {
 	for _, c := range cands {
 		if c.Traits == nil {

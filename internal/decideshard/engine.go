@@ -1,0 +1,418 @@
+// Package decideshard is the sharded decide plane: it partitions the
+// fleet into S shards with a stable hash on the full table name
+// (core.ShardOf — the same mapping the scheduler's GBHr budget shards
+// use, so a table's budget shard and decide shard always align) and runs
+// candidate generation, the three filter refinement points, observation,
+// trait batching, and MOOP scoring per shard on a bounded worker pool.
+// A deterministic k-way heap merge then reassembles the global ranking.
+//
+// # Byte-identical parity
+//
+// The engine's contract is not "similar decisions faster" but the same
+// bytes: for every configuration whose ranker implements
+// core.ParallelRanker, Decide returns exactly what core's serial pass
+// returns — same funnel counts, same ranked order, same scores, same
+// selection and plan. Three properties deliver this:
+//
+//  1. Candidate partitioning is by table, and every pipeline stage up to
+//     ranking is per-candidate, so shard-local filtering/observation/
+//     orientation computes exactly the serial values.
+//  2. The only cross-candidate coupling — MOOP min-max normalization —
+//     factors into per-shard trait extrema merged exactly (min/max has
+//     no accumulation error), after which each shard scores its
+//     candidates with bit-identical arithmetic (core.ParallelRanker).
+//  3. Ranking order is a total order (score desc, candidate ID asc) for
+//     unique IDs, so independently sorted shards merge into the exact
+//     serial ordering regardless of shard completion order; MergeRanked
+//     emits it without re-sorting the merged tail.
+//
+// Configurations outside the contract — a generator that is neither
+// core.ShardedGenerator nor table-local, or a ranker that is not a
+// core.ParallelRanker — degrade that stage to the serial path (counted
+// in autocomp_decideshard_serial_fallbacks_total) so correctness never
+// depends on a component opting in.
+//
+// # Allocation discipline
+//
+// The engine is a persistent object: per-shard table partitions,
+// candidate partitions, bounds and cursor buffers are scratch pools
+// reused across cycles (hit rate in autocomp_decideshard_pool_*_total).
+// Candidate and Stats values themselves flow into the Decision — they
+// outlive the cycle in reports, retained pools, and traces — so the
+// engine pools the buffers that carry them, never the objects.
+//
+// # Concurrency requirements
+//
+// Decide serializes itself (an engine runs one cycle at a time), but
+// within a cycle the configured Observer, Generator (per-shard calls),
+// Filters, and Traits execute concurrently on disjoint candidate sets
+// and must be safe for that: anything they share internally (stats
+// caches, quota lookups) needs its own synchronization. The changefeed's
+// cache and tracker are lock-striped for exactly this fan-out. Shard
+// count is fixed for the engine's lifetime; policy hot-reload swaps in a
+// new engine between cycles, so shard count only ever changes at a cycle
+// boundary.
+package decideshard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autocomp/internal/core"
+)
+
+// Options parameterizes an Engine.
+type Options struct {
+	// Shards is the number of decide shards tables hash onto; values
+	// <= 1 decide serially.
+	Shards int
+	// Workers bounds the goroutines running shard work; 0 defaults to
+	// min(Shards, GOMAXPROCS). More workers than shards is never useful
+	// (work is per-shard) and is capped.
+	Workers int
+}
+
+// Engine is a sharded decide plane bound to a fixed shard count. Create
+// one with New and attach its Decide method as core.Config.Decider (the
+// policy compiler does this for decide_shards > 1). Safe for concurrent
+// Decide calls, which serialize on an internal mutex.
+type Engine struct {
+	shards  int
+	workers int
+
+	mu sync.Mutex
+	// Scratch pools, reused across cycles (see the package doc).
+	tableBuf [][]core.Table
+	candBuf  [][]*core.Candidate
+	statsBuf []any
+	rankBuf  [][]*core.Candidate
+	outsBuf  []shardOut
+	last     CycleStats
+}
+
+// CycleStats is the engine's timing breakdown of its most recent decide
+// cycle — the basis for the shard experiment's critical-path projection
+// (on a host with fewer cores than shards, wall time cannot show the
+// parallel win; max-shard time plus merge time is what wall time becomes
+// with enough cores).
+type CycleStats struct {
+	// Shards is the cycle's shard count (0 = no sharded cycle yet).
+	Shards int
+	// ShardPipeline is each shard's generate→trait-filter duration;
+	// ShardRank each shard's rank-phase duration (zero when the ranker
+	// fell back to serial).
+	ShardPipeline []time.Duration
+	ShardRank     []time.Duration
+	// Merge is the k-way merge duration.
+	Merge time.Duration
+	// ShardCandidates is each shard's generated-candidate count.
+	ShardCandidates []int
+	// GenerateFallback and RankFallback report serial-path degradations
+	// (see the package doc).
+	GenerateFallback, RankFallback bool
+}
+
+// CriticalPath is the cycle's ideal-parallel decide time: the slowest
+// shard's pipeline+rank chain plus the serial merge.
+func (cs CycleStats) CriticalPath() time.Duration {
+	var max time.Duration
+	for s := range cs.ShardPipeline {
+		d := cs.ShardPipeline[s]
+		if s < len(cs.ShardRank) {
+			d += cs.ShardRank[s]
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max + cs.Merge
+}
+
+// LastCycle returns a copy of the most recent sharded cycle's stats.
+func (e *Engine) LastCycle() CycleStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cs := e.last
+	cs.ShardPipeline = append([]time.Duration(nil), e.last.ShardPipeline...)
+	cs.ShardRank = append([]time.Duration(nil), e.last.ShardRank...)
+	cs.ShardCandidates = append([]int(nil), e.last.ShardCandidates...)
+	return cs
+}
+
+// shardOut is one shard's per-cycle pipeline result.
+type shardOut struct {
+	generated  int
+	afterPre   int
+	afterStats int
+	afterTrait int
+	stats      any
+	err        error
+}
+
+// New returns an engine with opts applied and defaults filled.
+func New(opts Options) *Engine {
+	s := opts.Shards
+	if s < 1 {
+		s = 1
+	}
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > s {
+		w = s
+	}
+	if w < 1 {
+		w = 1
+	}
+	return &Engine{shards: s, workers: w}
+}
+
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return e.shards }
+
+// Workers returns the engine's worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Decide implements core.Decider: one observe→orient→decide pass with
+// per-shard fan-out, byte-identical to cfg.DecideSerial() under the
+// parity contract in the package doc.
+func (e *Engine) Decide(cfg *core.Config) (*core.Decision, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shards <= 1 {
+		return cfg.DecideSerial()
+	}
+	mDecides.Inc()
+	mShardsGauge.Set(float64(e.shards))
+	mWorkersGauge.Set(float64(e.workers))
+	e.last = CycleStats{
+		Shards:          e.shards,
+		ShardPipeline:   make([]time.Duration, e.shards),
+		ShardRank:       make([]time.Duration, e.shards),
+		ShardCandidates: make([]int, e.shards),
+	}
+
+	d := &core.Decision{At: cfg.Connector.Now()}
+	tables := cfg.Connector.Tables()
+	parts := e.candParts()
+	genFn := e.generatorFor(cfg, tables, parts)
+
+	// Phase A, per shard: generate → pre-filter → observe →
+	// stats-filter → orient (trait evaluation batched per shard pass) →
+	// trait-filter → ranking summary.
+	outs := e.outs()
+	pr, parallelRank := cfg.Ranker.(core.ParallelRanker)
+	e.runShards(func(s int) {
+		started := time.Now()
+		out := &outs[s]
+		cands := genFn(s)
+		out.generated = len(cands)
+		e.last.ShardCandidates[s] = len(cands)
+		mShardCandidates.Observe(float64(len(cands)))
+
+		cands = core.ApplyFilters(cands, cfg.PreFilters)
+		out.afterPre = len(cands)
+		for _, c := range cands {
+			if err := cfg.ObserveCandidate(c); err != nil {
+				out.err = err
+				return
+			}
+		}
+		cands = core.ApplyFilters(cands, cfg.StatsFilters)
+		out.afterStats = len(cands)
+
+		core.Orient(cands, cfg.Traits)
+		cands = core.ApplyFilters(cands, cfg.TraitFilters)
+		out.afterTrait = len(cands)
+		parts[s] = cands
+		if parallelRank {
+			out.stats = pr.ShardStats(cands)
+		}
+		e.last.ShardPipeline[s] = time.Since(started)
+		mShardSeconds.With("pipeline").Observe(e.last.ShardPipeline[s].Seconds())
+	})
+	for s := range outs {
+		if err := outs[s].err; err != nil {
+			return nil, err
+		}
+		d.Generated += outs[s].generated
+		d.AfterPreFilters += outs[s].afterPre
+		d.AfterStatsFilter += outs[s].afterStats
+		d.AfterTraitFilter += outs[s].afterTrait
+	}
+
+	// Phase B: rank per shard against exactly-merged global stats, then
+	// the deterministic k-way merge.
+	if parallelRank {
+		stats := e.stats()
+		for s := range outs {
+			stats[s] = outs[s].stats
+		}
+		global := pr.MergeStats(stats)
+		ranked := e.ranked()
+		e.runShards(func(s int) {
+			started := time.Now()
+			ranked[s] = pr.RankShard(parts[s], global)
+			e.last.ShardRank[s] = time.Since(started)
+			mShardSeconds.With("rank").Observe(e.last.ShardRank[s].Seconds())
+		})
+		started := time.Now()
+		d.Ranked = MergeRanked(ranked)
+		e.last.Merge = time.Since(started)
+		mMergeSeconds.Observe(e.last.Merge.Seconds())
+	} else {
+		e.last.RankFallback = true
+		mFallbacks.With("rank").Inc()
+		all := make([]*core.Candidate, 0, d.AfterTraitFilter)
+		for s := range parts {
+			all = append(all, parts[s]...)
+		}
+		d.Ranked = cfg.Ranker.Rank(all)
+	}
+
+	d.Selected = cfg.Selector.Select(d.Ranked)
+	d.Plan = cfg.Scheduler.Plan(d.Selected)
+	return d, nil
+}
+
+// generatorFor resolves this cycle's per-shard candidate source, in
+// preference order: a ShardedGenerator partitions its own pool (the
+// changefeed's retained partitions); a table-local generator runs on the
+// engine's table partition; anything else generates serially once and
+// the pool is hash-partitioned into parts — set-preserving in every
+// case, which is all ranking order depends on.
+func (e *Engine) generatorFor(cfg *core.Config, tables []core.Table, parts [][]*core.Candidate) func(int) []*core.Candidate {
+	if g, ok := cfg.Generator.(core.ShardedGenerator); ok {
+		tp := e.partitionTables(tables)
+		return func(s int) []*core.Candidate {
+			return g.ShardCandidates(s, e.shards, tp[s])
+		}
+	}
+	if core.GeneratorIsTableLocal(cfg.Generator) {
+		tp := e.partitionTables(tables)
+		return func(s int) []*core.Candidate {
+			return cfg.Generator.Candidates(tp[s])
+		}
+	}
+	e.last.GenerateFallback = true
+	mFallbacks.With("generate").Inc()
+	all := cfg.Generator.Candidates(tables)
+	for _, c := range all {
+		s := core.ShardOf(c.Table.FullName(), e.shards)
+		parts[s] = append(parts[s], c)
+	}
+	return func(s int) []*core.Candidate { return parts[s] }
+}
+
+// partitionTables splits tables by core.ShardOf into pooled per-shard
+// buffers, preserving relative order within each shard.
+func (e *Engine) partitionTables(tables []core.Table) [][]core.Table {
+	if e.tableBuf == nil {
+		e.tableBuf = make([][]core.Table, e.shards)
+		mPoolMisses.Inc()
+	} else {
+		mPoolHits.Inc()
+	}
+	for s := range e.tableBuf {
+		e.tableBuf[s] = e.tableBuf[s][:0]
+	}
+	for _, t := range tables {
+		s := core.ShardOf(t.FullName(), e.shards)
+		e.tableBuf[s] = append(e.tableBuf[s], t)
+	}
+	return e.tableBuf
+}
+
+// candParts returns the pooled per-shard candidate partitions, reset.
+func (e *Engine) candParts() [][]*core.Candidate {
+	if e.candBuf == nil {
+		e.candBuf = make([][]*core.Candidate, e.shards)
+		mPoolMisses.Inc()
+	} else {
+		mPoolHits.Inc()
+	}
+	for s := range e.candBuf {
+		e.candBuf[s] = e.candBuf[s][:0]
+	}
+	return e.candBuf
+}
+
+// stats returns the pooled per-shard ranking-summary slice, reset.
+func (e *Engine) stats() []any {
+	if e.statsBuf == nil {
+		e.statsBuf = make([]any, e.shards)
+		mPoolMisses.Inc()
+	} else {
+		mPoolHits.Inc()
+	}
+	for s := range e.statsBuf {
+		e.statsBuf[s] = nil
+	}
+	return e.statsBuf
+}
+
+// ranked returns the pooled per-shard ranked-output slice, reset. The
+// ranked slices themselves come from the ranker and flow into the
+// Decision; only the slice-of-slices header is pooled.
+func (e *Engine) ranked() [][]*core.Candidate {
+	if e.rankBuf == nil {
+		e.rankBuf = make([][]*core.Candidate, e.shards)
+		mPoolMisses.Inc()
+	} else {
+		mPoolHits.Inc()
+	}
+	for s := range e.rankBuf {
+		e.rankBuf[s] = nil
+	}
+	return e.rankBuf
+}
+
+// outs returns the pooled per-shard pipeline results, reset.
+func (e *Engine) outs() []shardOut {
+	if e.outsBuf == nil {
+		e.outsBuf = make([]shardOut, e.shards)
+		mPoolMisses.Inc()
+	} else {
+		mPoolHits.Inc()
+	}
+	for s := range e.outsBuf {
+		e.outsBuf[s] = shardOut{}
+	}
+	return e.outsBuf
+}
+
+// runShards runs fn(0..shards-1) on the bounded worker pool and waits.
+// Shard indices are pulled from an atomic counter so slow shards never
+// idle a worker that could take the next one.
+func (e *Engine) runShards(fn func(int)) {
+	w := e.workers
+	if w > e.shards {
+		w = e.shards
+	}
+	if w <= 1 {
+		for s := 0; s < e.shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1))
+				if s >= e.shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,182 @@
+package decideshard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"autocomp/internal/core"
+	"autocomp/internal/lst"
+	"autocomp/internal/sim"
+)
+
+// mergeTable is a minimal core.Table for synthetic merge candidates.
+type mergeTable struct{ name string }
+
+func (t mergeTable) Database() string                       { return "db" }
+func (t mergeTable) Name() string                           { return t.name }
+func (t mergeTable) FullName() string                       { return t.name }
+func (t mergeTable) Spec() lst.PartitionSpec                { return lst.PartitionSpec{} }
+func (t mergeTable) Mode() lst.WriteMode                    { return lst.CopyOnWrite }
+func (t mergeTable) Prop(string) string                     { return "" }
+func (t mergeTable) Created() time.Duration                 { return 0 }
+func (t mergeTable) LastWrite() time.Duration               { return 0 }
+func (t mergeTable) WriteCount() int64                      { return 0 }
+func (t mergeTable) FileCount() int                         { return 1 }
+func (t mergeTable) TotalBytes() int64                      { return 1 }
+func (t mergeTable) Partitions() []string                   { return nil }
+func (t mergeTable) LiveFiles() []lst.DataFile              { return nil }
+func (t mergeTable) FilesInPartition(string) []lst.DataFile { return nil }
+
+// TestMergeRankedMatchesStableSortProperty drives 500 random cases
+// through MergeRanked and checks the defining property: merging
+// per-shard stable-sorted rankings equals stable-sorting the shard
+// concatenation with core.RankLess. Scores are drawn from a tiny pool
+// (deliberate ties, signed zero, infinities) and candidate IDs are
+// sometimes duplicated across shards, so the heap's lower-shard
+// tie-break — the stable-sort mirror — is exercised, not just the happy
+// path of a total order.
+func TestMergeRankedMatchesStableSortProperty(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	scorePool := []float64{-1.5, 0, negZero, 0.25, 0.25, 2.5, math.Inf(1), math.Inf(-1)}
+	for ci := 0; ci < 500; ci++ {
+		rng := sim.Child(42, fmt.Sprintf("merge-case-%d", ci))
+		shards := rng.IntBetween(1, 9)
+		parts := make([][]*core.Candidate, shards)
+		var names []string
+		for i, n := 0, rng.Intn(48); i < n; i++ {
+			var name string
+			if len(names) > 0 && rng.Bernoulli(0.15) {
+				name = names[rng.Intn(len(names))] // duplicate ID, maybe cross-shard
+			} else {
+				name = fmt.Sprintf("db%d.t%03d", rng.Intn(4), i)
+			}
+			names = append(names, name)
+			c := &core.Candidate{
+				Table: mergeTable{name},
+				Score: scorePool[rng.Intn(len(scorePool))],
+			}
+			s := rng.Intn(shards)
+			parts[s] = append(parts[s], c)
+		}
+		var all []*core.Candidate
+		for _, p := range parts {
+			all = append(all, p...)
+		}
+		want := make([]*core.Candidate, len(all))
+		copy(want, all)
+		sort.SliceStable(want, func(i, j int) bool { return core.RankLess(want[i], want[j]) })
+		for _, p := range parts {
+			sort.SliceStable(p, func(i, j int) bool { return core.RankLess(p[i], p[j]) })
+		}
+		got := MergeRanked(parts)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: merged %d candidates, want %d", ci, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %d: position %d: merged %s (%v), stable sort has %s (%v)",
+					ci, i, got[i].ID(), got[i].Score, want[i].ID(), want[i].Score)
+			}
+		}
+	}
+}
+
+// TestMOOPShardRankEquivalenceProperty checks the ParallelRanker
+// factorization of the MOOP over 500 random pools: partitioning by
+// core.ShardOf, merging per-shard bounds, ranking each shard against
+// them, and k-way-merging must reproduce the serial Rank bit for bit —
+// same order, same Float64bits of every score. Trait values span
+// adversarial ground (1e±300 magnitudes, negatives, constant columns
+// that collapse the min-max span) and weights are NaN-free but include
+// zeros and wildly skewed magnitudes before normalization.
+func TestMOOPShardRankEquivalenceProperty(t *testing.T) {
+	traitPool := []float64{0, 1, -3.5, 1e-300, 1e300, -1e300, 7, 7, 0.125}
+	weightPool := []float64{0, 1e-8, 0.5, 1, 1e6}
+	for ci := 0; ci < 500; ci++ {
+		rng := sim.Child(7, fmt.Sprintf("moop-case-%d", ci))
+		nObj := rng.IntBetween(1, 4)
+		objectives := make([]core.Objective, nObj)
+		sum := 0.0
+		raw := make([]float64, nObj)
+		for i := range raw {
+			raw[i] = weightPool[rng.Intn(len(weightPool))]
+			sum += raw[i]
+		}
+		if sum == 0 {
+			raw[0], sum = 1, 1
+		}
+		for i := range objectives {
+			dir := core.Benefit
+			if rng.Bernoulli(0.4) {
+				dir = core.Cost
+			}
+			objectives[i] = core.Objective{
+				Trait:  core.TraitFunc{TraitName: fmt.Sprintf("t%d", i), Dir: dir},
+				Weight: raw[i] / sum,
+			}
+		}
+		ranker := core.MOOPRanker{Objectives: objectives}
+
+		nCands := rng.Intn(60)
+		constant := rng.Bernoulli(0.2) // collapse one trait's span to zero
+		cands := make([]*core.Candidate, nCands)
+		for i := range cands {
+			traits := make(map[string]float64, nObj)
+			for j := 0; j < nObj; j++ {
+				v := traitPool[rng.Intn(len(traitPool))]
+				if constant && j == 0 {
+					v = 42
+				}
+				traits[fmt.Sprintf("t%d", j)] = v
+			}
+			cands[i] = &core.Candidate{
+				Table:  mergeTable{fmt.Sprintf("db%d.t%04d", rng.Intn(8), i)},
+				Traits: traits,
+			}
+		}
+
+		type scored struct {
+			id   string
+			bits uint64
+		}
+		capture := func(ranked []*core.Candidate) []scored {
+			out := make([]scored, len(ranked))
+			for i, c := range ranked {
+				out[i] = scored{c.ID(), math.Float64bits(c.Score)}
+			}
+			return out
+		}
+
+		serial := capture(ranker.Rank(cands))
+
+		shards := rng.IntBetween(2, 16)
+		parts := make([][]*core.Candidate, shards)
+		for _, c := range cands {
+			s := core.ShardOf(c.Table.FullName(), shards)
+			parts[s] = append(parts[s], c)
+		}
+		stats := make([]any, shards)
+		for s, p := range parts {
+			stats[s] = ranker.ShardStats(p)
+		}
+		global := ranker.MergeStats(stats)
+		ranked := make([][]*core.Candidate, shards)
+		for s, p := range parts {
+			ranked[s] = ranker.RankShard(p, global)
+		}
+		sharded := capture(MergeRanked(ranked))
+
+		if len(sharded) != len(serial) {
+			t.Fatalf("case %d: sharded ranked %d, serial %d", ci, len(sharded), len(serial))
+		}
+		for i := range serial {
+			if sharded[i] != serial[i] {
+				t.Fatalf("case %d (%d shards, %d objectives): position %d: sharded %s/%016x, serial %s/%016x",
+					ci, shards, nObj, i, sharded[i].id, sharded[i].bits, serial[i].id, serial[i].bits)
+			}
+		}
+	}
+}

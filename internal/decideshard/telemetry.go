@@ -1,0 +1,45 @@
+package decideshard
+
+import "autocomp/internal/telemetry"
+
+// Runtime metrics of the sharded decide plane. Like the core pipeline's
+// families, instrumentation is strictly passive: it records what the
+// engine did and never influences a decision, so parity with the serial
+// pass holds with or without a scraper attached.
+var (
+	mDecides = telemetry.Default().Counter(
+		"autocomp_decideshard_decides_total",
+		"Decide cycles run by the sharded engine.")
+	mShardSeconds = telemetry.Default().HistogramVec(
+		"autocomp_decideshard_shard_seconds",
+		"Per-shard wall time of one decide cycle, by stage: the "+
+			"generate-through-trait-filter pipeline and the rank pass.",
+		telemetry.ExpBuckets(0.0001, 4, 10),
+		"stage")
+	mShardCandidates = telemetry.Default().Histogram(
+		"autocomp_decideshard_shard_candidates",
+		"Candidates one shard generated in one decide cycle.",
+		telemetry.ExpBuckets(1, 4, 12))
+	mMergeSeconds = telemetry.Default().Histogram(
+		"autocomp_decideshard_merge_seconds",
+		"Wall time of the deterministic k-way merge of ranked shards.",
+		telemetry.ExpBuckets(0.00001, 4, 10))
+	mShardsGauge = telemetry.Default().Gauge(
+		"autocomp_decideshard_shards",
+		"Decide shards of the most recently deciding engine.")
+	mWorkersGauge = telemetry.Default().Gauge(
+		"autocomp_decideshard_workers",
+		"Worker-pool size of the most recently deciding engine.")
+	mPoolHits = telemetry.Default().Counter(
+		"autocomp_decideshard_pool_hits_total",
+		"Per-shard scratch buffers reused without reallocation.")
+	mPoolMisses = telemetry.Default().Counter(
+		"autocomp_decideshard_pool_misses_total",
+		"Per-shard scratch buffers that had to be (re)allocated.")
+	mFallbacks = telemetry.Default().CounterVec(
+		"autocomp_decideshard_serial_fallbacks_total",
+		"Decide stages that fell back to the serial path, by reason: "+
+			"'generate' (generator neither sharded nor table-local) or "+
+			"'rank' (ranker does not factor across shards).",
+		"stage")
+)

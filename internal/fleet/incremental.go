@@ -19,6 +19,11 @@ type IncrOptions struct {
 	// ReconcileEvery runs a reconciling full scan every Nth cycle to
 	// catch missed events (0 = cold-start full scan only).
 	ReconcileEvery int
+	// DecideShards partitions the feed's retained pool and lock stripes
+	// to match a sharded decide plane's shard count (values <= 1 build a
+	// single-partition feed). The wired generator then serves each decide
+	// shard from its own partition with no cross-shard contention.
+	DecideShards int
 }
 
 // IncrementalConfig wires a fresh changefeed into cfg: the connector
@@ -31,7 +36,7 @@ func (f *Fleet) IncrementalConfig(cfg core.Config, opts IncrOptions) (core.Confi
 	if triggers == nil {
 		triggers = changefeed.StaticTriggers(opts.Trigger)
 	}
-	feed := changefeed.NewFeed(triggers, opts.ReconcileEvery)
+	feed := changefeed.NewFeedSharded(triggers, opts.ReconcileEvery, opts.DecideShards)
 	f.AttachChangefeed(feed.Bus)
 	cfg.Connector = feed.Connector(cfg.Connector)
 	cfg.Generator = feed.Generator(cfg.Generator)

@@ -104,6 +104,7 @@ func (f *Fleet) ServiceFromSpec(spec *policy.Spec, model CompactionModel, opts S
 			Trigger:        comp.Trigger,
 			Triggers:       comp.Triggers,
 			ReconcileEvery: comp.ReconcileEvery,
+			DecideShards:   comp.DecideShards,
 		})
 	} else {
 		// The spec owns the fleet's changefeed attachment: compiling a

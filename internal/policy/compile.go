@@ -7,6 +7,7 @@ import (
 
 	"autocomp/internal/changefeed"
 	"autocomp/internal/core"
+	"autocomp/internal/decideshard"
 	"autocomp/internal/maintenance"
 	"autocomp/internal/scheduler"
 	"autocomp/internal/storage"
@@ -77,6 +78,12 @@ type Compiled struct {
 	// execution plane; Sched is its configuration.
 	HasExecution bool
 	Sched        scheduler.Config
+	// DecideShards is the sharded decide plane's shard count (0 or 1 =
+	// serial decide). When > 1, Core.Decider is already attached to a
+	// decideshard engine; consumers building an incremental feed should
+	// pass the same count to changefeed.NewFeedSharded so the retained
+	// pool partitions align with the decide shards.
+	DecideShards int
 	// Incremental reports whether the spec enables commit-event-driven
 	// observation; Trigger is the base trigger policy, Triggers the
 	// layered per-table resolver, and ReconcileEvery the full-scan
@@ -338,6 +345,20 @@ func Compile(s *Spec, env Env, b Bindings) (*Compiled, error) {
 		ex := s.Execution
 		if ex.Workers < 1 {
 			fail(fmt.Errorf("policy: execution.workers must be >= 1, got %d", ex.Workers))
+		}
+		if ex.DecideShards < 0 {
+			fail(fmt.Errorf("policy: execution.decide_shards must be non-negative, got %d", ex.DecideShards))
+		}
+		if ex.DecideWorkers < 0 {
+			fail(fmt.Errorf("policy: execution.decide_workers must be non-negative, got %d", ex.DecideWorkers))
+		}
+		if ex.DecideWorkers > 0 && ex.DecideShards <= 1 {
+			fail(fmt.Errorf("policy: execution.decide_workers requires decide_shards > 1 (got decide_shards %d)", ex.DecideShards))
+		}
+		if ex.DecideShards > 1 {
+			out.DecideShards = ex.DecideShards
+			eng := decideshard.New(decideshard.Options{Shards: ex.DecideShards, Workers: ex.DecideWorkers})
+			out.Core.Decider = eng.Decide
 		}
 		var staleness int64
 		if ex.StalenessBound != nil {

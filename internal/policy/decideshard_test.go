@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestDecideShardsRoundTrip locks the wire format of the sharded decide
+// knobs: they survive Marshal→Parse exactly and serialize under the
+// documented JSON names.
+func TestDecideShardsRoundTrip(t *testing.T) {
+	orig := DefaultSpec()
+	orig.Execution.DecideShards = 4
+	orig.Execution.DecideWorkers = 2
+	b, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"decide_shards": 4`, `"decide_workers": 2`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("marshaled spec missing %s:\n%s", want, b)
+		}
+	}
+	back, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip diverged:\norig: %+v\nback: %+v", orig.Execution, back.Execution)
+	}
+	// Serial specs omit the knobs entirely.
+	b2, err := DefaultSpec().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b2), "decide_shards") || strings.Contains(string(b2), "decide_workers") {
+		t.Fatalf("serial spec leaked decide knobs:\n%s", b2)
+	}
+}
+
+// TestDecideShardsValidation covers the compile-time guard rails on the
+// decide knobs.
+func TestDecideShardsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		shards  int
+		workers int
+		wantErr string
+	}{
+		{"negative shards", -1, 0, "decide_shards must be non-negative"},
+		{"negative workers", 4, -2, "decide_workers must be non-negative"},
+		{"workers without shards", 0, 2, "requires decide_shards > 1"},
+		{"workers with serial shards", 1, 2, "requires decide_shards > 1"},
+		{"serial", 0, 0, ""},
+		{"sharded", 16, 4, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := DefaultSpec()
+			s.Execution.DecideShards = tc.shards
+			s.Execution.DecideWorkers = tc.workers
+			err := Validate(s, StubEnv())
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCompileAttachesShardedDecider checks the compile wiring: a
+// decide_shards > 1 spec compiles with a Decider attached and the shard
+// count surfaced for feed construction; serial specs leave both unset.
+func TestCompileAttachesShardedDecider(t *testing.T) {
+	s := DefaultSpec()
+	s.Execution.DecideShards = 4
+	comp, err := Compile(s, StubEnv(), Bindings{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.DecideShards != 4 {
+		t.Fatalf("DecideShards = %d, want 4", comp.DecideShards)
+	}
+	if comp.Core.Decider == nil {
+		t.Fatal("sharded spec compiled without a Decider")
+	}
+
+	serial, err := Compile(DefaultSpec(), StubEnv(), Bindings{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.DecideShards != 0 || serial.Core.Decider != nil {
+		t.Fatalf("serial spec got a sharded decide plane: shards=%d decider=%v",
+			serial.DecideShards, serial.Core.Decider != nil)
+	}
+}

@@ -158,6 +158,15 @@ type ExecutionSpec struct {
 	// AgingRatePerHour is the priority points a queued job gains per
 	// hour of waiting (0 = scheduler default, negative disables).
 	AgingRatePerHour float64 `json:"aging_rate_per_hour,omitempty"`
+	// DecideShards partitions the decide phase (generation, filtering,
+	// observation, MOOP ranking) across this many table-hash shards run
+	// in parallel — byte-identical decisions, lower wall time on
+	// multi-core hosts. 0 or 1 decides serially.
+	DecideShards int `json:"decide_shards,omitempty"`
+	// DecideWorkers bounds the goroutines working decide shards
+	// (0 = min(DecideShards, GOMAXPROCS)). Meaningful only with
+	// DecideShards > 1.
+	DecideWorkers int `json:"decide_workers,omitempty"`
 }
 
 // TriggerSpec enables the incremental observation plane and carries the

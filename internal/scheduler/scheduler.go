@@ -30,7 +30,6 @@ package scheduler
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"time"
 
@@ -378,14 +377,11 @@ func New(cfg Config, runner core.Runner, clock Clock) *Pool {
 	}
 }
 
-// ShardOf returns the budget shard a table hashes onto.
+// ShardOf returns the budget shard a table hashes onto. It delegates to
+// core.ShardOf, the system-wide shard mapping, so budget shards and
+// decide shards always align for a given table.
 func ShardOf(fullName string, shards int) int {
-	if shards <= 1 {
-		return 0
-	}
-	h := fnv.New32a()
-	h.Write([]byte(fullName))
-	return int(h.Sum32() % uint32(shards))
+	return core.ShardOf(fullName, shards)
 }
 
 // Submit enqueues the ranked, selected candidates. Rank order sets base
