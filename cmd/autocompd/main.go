@@ -67,6 +67,7 @@ func main() {
 	tracePath := flag.String("trace", "", "append per-cycle decision-trace events to this file as JSON lines")
 	policyPath := flag.String("policy", "", "policy spec file (JSON); pipeline flags become overrides and the file hot-reloads between cycles")
 	scenariosDir := flag.String("scenarios", "examples/scenarios", "directory where the management API resolves scenario runs submitted by name")
+	tuneWorkers := flag.Int("tune-workers", 0, "evaluation pool size for /api/tune jobs (0 = GOMAXPROCS; never changes tune results)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight tenant cycles to drain")
 	k := flag.Int("k", 0, "fixed top-k selection (0 = use budget)")
 	budgetTBHr := flag.Float64("budget-tbhr", 50, "per-cycle compute budget (TBHr)")
@@ -226,6 +227,7 @@ func main() {
 			Mgr:          mgr,
 			ScenariosDir: *scenariosDir,
 			Logf:         opts.Logf,
+			TuneWorkers:  *tuneWorkers,
 		}
 		srv, err = serveTelemetry(*listen, status, mgmt.Register)
 		if err != nil {

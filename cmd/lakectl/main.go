@@ -25,6 +25,14 @@
 //	                           is a scenario .json (run now) or a saved
 //	                           .trace file (e.g. a committed golden)
 //
+// and the closed-loop tuning command (internal/autotune):
+//
+//	lakectl tune <space.json> <scenario.json>...
+//	                           search the spec space against the scenario
+//	                           engine; print the winner + provenance
+//	lakectl tune -check <trials.jsonl>
+//	                           schema-check a tune's JSONL trial log
+//
 // and the daemon-operations command:
 //
 //	lakectl status <host:port>               scrape /statusz from a
@@ -92,6 +100,10 @@ func main() {
 		runsCmd(flag.Args()[1:])
 		return
 	}
+	if cmd == "tune" {
+		tuneCmd(flag.Args()[1:])
+		return
+	}
 
 	env := buildLake(*seed, *databases)
 	switch cmd {
@@ -100,7 +112,7 @@ func main() {
 	case "metadata":
 		metadataView(env, *top)
 	default:
-		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario, status, tenants, runs)", cmd)
+		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario, status, tenants, runs, tune)", cmd)
 	}
 }
 

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"autocomp/internal/autotune"
+	"autocomp/internal/policy"
+	"autocomp/internal/scenario"
+)
+
+// tuneCmd serves `lakectl tune`: the closed-loop policy auto-tuner.
+//
+//	lakectl tune [flags] <space.json> <scenario.json>...
+//	lakectl tune -check <trials.jsonl>
+//
+// The first form searches the space against the scenario engine and
+// prints the winner; the second schema-checks a trial log (CI runs it
+// on the smoke tune's artifact).
+func tuneCmd(args []string) {
+	fs := flag.NewFlagSet("lakectl tune", flag.ExitOnError)
+	optimizer := fs.String("optimizer", "cfo", "search strategy: cfo, random, or grid")
+	budget := fs.Int("budget", 16, "trial count")
+	seed := fs.Int64("seed", 1, "tune seed (search stream and per-scenario eval seeds derive from it)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "evaluation pool size (never changes any result byte)")
+	basePath := fs.String("base", "", "base policy spec to tune (default: the built-in default spec)")
+	outPath := fs.String("out", "", "write the winner spec JSON here (default: stdout summary only)")
+	reportPath := fs.String("report", "", "write the provenance report JSON here")
+	logPath := fs.String("log", "", "write the JSONL trial log here")
+	check := fs.String("check", "", "schema-check a trial log instead of tuning")
+	fs.Parse(args)
+
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+		defer f.Close()
+		if err := autotune.CheckTrialLog(f); err != nil {
+			log.Fatalf("lakectl tune: %s: %v", *check, err)
+		}
+		fmt.Printf("%s: OK\n", *check)
+		return
+	}
+
+	if fs.NArg() < 2 {
+		log.Fatal("lakectl tune: need a space file and at least one scenario file")
+	}
+	space, err := autotune.LoadSpaceFile(fs.Arg(0))
+	if err != nil {
+		log.Fatalf("lakectl tune: %v", err)
+	}
+	var scenarios []*scenario.Spec
+	for _, path := range fs.Args()[1:] {
+		sc, err := scenario.LoadFile(path)
+		if err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+	var base *policy.Spec
+	if *basePath != "" {
+		if base, err = policy.LoadFile(*basePath); err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+	}
+
+	cfg := autotune.Config{
+		Space:     space,
+		Base:      base,
+		Scenarios: scenarios,
+		Optimizer: *optimizer,
+		Budget:    *budget,
+		Seed:      *seed,
+		Workers:   *workers,
+	}
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+		defer f.Close()
+		cfg.TrialLog = f
+	}
+
+	res, err := autotune.Run(cfg)
+	if err != nil {
+		log.Fatalf("lakectl tune: %v", err)
+	}
+	rep := res.Report
+
+	fmt.Printf("tune %s: %d trials (%d invalid), optimizer %s, seed %d\n",
+		spaceLabel(space), rep.Trials, rep.Invalid, rep.Optimizer, rep.Seed)
+	fmt.Printf("scenarios:\n")
+	for _, s := range rep.Scenarios {
+		fmt.Printf("  %-24s eval seed %d\n", s.Name, s.Seed)
+	}
+	fmt.Printf("trajectory (best composite after each trial):\n  %s\n", trajectoryLine(rep.Trajectory))
+	fmt.Printf("winner: trial %d, composite %.4f vs baseline 1.0\n", rep.BestTrial, rep.BestComposite)
+	names := make([]string, 0, len(rep.WinnerParams))
+	for name := range rep.WinnerParams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-36s %g\n", name, rep.WinnerParams[name])
+	}
+	if len(rep.WinnerDiff) == 0 {
+		fmt.Println("winner matches the base spec (no tuned field moved the score)")
+	} else {
+		fmt.Printf("winner diff vs %s:\n", rep.Base)
+		for _, d := range rep.WinnerDiff {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+	if rep.ImprovementPct > 0 {
+		fmt.Printf("result: strictly improves the composite score by %.2f%% over %s\n", rep.ImprovementPct, rep.Base)
+	} else {
+		fmt.Printf("result: no improvement over %s (composite %.4f)\n", rep.Base, rep.BestComposite)
+	}
+
+	if *outPath != "" {
+		b, err := res.Winner.Marshal()
+		if err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+		if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+		fmt.Printf("winner spec written to %s\n", *outPath)
+	}
+	if *reportPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+		if err := os.WriteFile(*reportPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("lakectl tune: %v", err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+	}
+}
+
+func spaceLabel(s *autotune.Space) string {
+	if s.Name == "" {
+		return "(unnamed space)"
+	}
+	return s.Name
+}
+
+// trajectoryLine renders the best-so-far series compactly; zero entries
+// (before the first valid trial) render as "-".
+func trajectoryLine(tr []float64) string {
+	parts := make([]string, len(tr))
+	for i, v := range tr {
+		if v == 0 {
+			parts[i] = "-"
+		} else {
+			parts[i] = fmt.Sprintf("%.4f", v)
+		}
+	}
+	return strings.Join(parts, " ")
+}

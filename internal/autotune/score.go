@@ -1,0 +1,159 @@
+package autotune
+
+import (
+	"errors"
+	"fmt"
+
+	"autocomp/internal/scenario"
+	"autocomp/internal/storage"
+)
+
+// Score is the multi-objective summary extracted from one canonical
+// scenario trace — the quantities the paper's tuning loop trades off
+// (§6.3 tunes thresholds against end-to-end duration; the scenario
+// plane exposes the richer production objectives of §5). Every
+// component is "lower is better".
+type Score struct {
+	// SmallFiles is the end-of-run tiny-file count (tiny fraction times
+	// file count) — the paper's primary fleet-health metric.
+	SmallFiles float64 `json:"small_files"`
+	// WriteAmpGBPerDay is the mean GB the compactor rewrote per
+	// simulated day — write amplification paid for the cleanup.
+	WriteAmpGBPerDay float64 `json:"write_amp_gb_per_day"`
+	// GBHr is the total compute spend — budget efficiency.
+	GBHr float64 `json:"gbhr"`
+	// MakespanHours is the mean execution-plane makespan per cycle
+	// (zero for serial pipelines).
+	MakespanHours float64 `json:"makespan_hours"`
+	// ConflictRate is commit conflicts per committed-or-conflicted job.
+	ConflictRate float64 `json:"conflict_rate"`
+}
+
+// ScoreTrace extracts the multi-objective score from a finalized trace.
+func ScoreTrace(tr *scenario.Trace) Score {
+	var s Score
+	if tr == nil || len(tr.Cycles) == 0 {
+		return s
+	}
+	var bytesRewritten int64
+	var makespan float64
+	var done, conflicts int
+	for i := range tr.Cycles {
+		c := &tr.Cycles[i]
+		bytesRewritten += c.BytesRewritten
+		makespan += c.MakespanHours
+		done += c.Exec.Done
+		conflicts += c.Exec.Conflicts
+	}
+	days := float64(len(tr.Cycles))
+	s.SmallFiles = tr.Final.Fleet.TinyFrac * float64(tr.Final.Fleet.Files)
+	s.WriteAmpGBPerDay = float64(bytesRewritten) / float64(storage.GB) / days
+	s.GBHr = tr.Final.ActualGBHr
+	s.MakespanHours = makespan / days
+	if done+conflicts > 0 {
+		s.ConflictRate = float64(conflicts) / float64(done+conflicts)
+	}
+	return s
+}
+
+// Weights maps score components to their share of the composite. Known
+// components: small_files, write_amp, gbhr, makespan, conflicts.
+type Weights map[string]float64
+
+// scoreComponents is the closed set of weightable components, each
+// paired with its projection of a Score.
+var scoreComponents = []struct {
+	name string
+	get  func(Score) float64
+}{
+	{"small_files", func(s Score) float64 { return s.SmallFiles }},
+	{"write_amp", func(s Score) float64 { return s.WriteAmpGBPerDay }},
+	{"gbhr", func(s Score) float64 { return s.GBHr }},
+	{"makespan", func(s Score) float64 { return s.MakespanHours }},
+	{"conflicts", func(s Score) float64 { return s.ConflictRate }},
+}
+
+// DefaultWeights is the composite weighting used when a space does not
+// declare one: fleet health first, then compute spend, then the
+// execution-side costs.
+func DefaultWeights() Weights {
+	return Weights{
+		"small_files": 0.35,
+		"gbhr":        0.25,
+		"write_amp":   0.15,
+		"conflicts":   0.15,
+		"makespan":    0.10,
+	}
+}
+
+// validate rejects unknown components and non-positive weight mass.
+func (w Weights) validate() error {
+	if len(w) == 0 {
+		return nil
+	}
+	known := map[string]bool{}
+	for _, c := range scoreComponents {
+		known[c.name] = true
+	}
+	var errs []error
+	total := 0.0
+	for name, v := range w {
+		if !known[name] {
+			errs = append(errs, fmt.Errorf("autotune: unknown objective component %q", name))
+		}
+		if v < 0 {
+			errs = append(errs, fmt.Errorf("autotune: objective %q has negative weight %v", name, v))
+		}
+		total += v
+	}
+	if len(w) > 0 && total <= 0 {
+		errs = append(errs, errors.New("autotune: objective weights sum to zero"))
+	}
+	return errors.Join(errs...)
+}
+
+// normalized returns the weights scaled to sum 1, with DefaultWeights
+// filling in for an empty map.
+func (w Weights) normalized() Weights {
+	if len(w) == 0 {
+		w = DefaultWeights()
+	}
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	out := make(Weights, len(w))
+	for k, v := range w {
+		out[k] = v / total
+	}
+	return out
+}
+
+// Composite collapses a trial score into the scalar the optimizer
+// minimizes: the weighted sum of per-component ratios against the
+// baseline score on the same scenario and seed. The baseline therefore
+// scores exactly 1.0, and a composite below 1 means the trial strictly
+// improves on it under the chosen weighting. A component the baseline
+// does not exhibit (zero denominator) contributes its weight when the
+// trial matches it at zero and a 1+value penalty ratio when the trial
+// regresses it.
+func Composite(s, base Score, w Weights) float64 {
+	const eps = 1e-9
+	total := 0.0
+	for _, c := range scoreComponents {
+		weight := w[c.name]
+		if weight == 0 {
+			continue
+		}
+		v, b := c.get(s), c.get(base)
+		ratio := 1.0
+		switch {
+		case b > eps:
+			ratio = v / b
+		case v > eps:
+			ratio = 1 + v
+		}
+		total += weight * ratio
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+package autotune
+
+import (
+	"autocomp/internal/telemetry"
+)
+
+// Runtime metrics of the tuning harness. Publication is passive: the
+// harness records trial outcomes and evaluation walls after each
+// result is merged, never influencing a trial seed, a proposal, or the
+// merge order — the determinism battery runs with instrumentation on.
+var (
+	mTunes = telemetry.Default().CounterVec(
+		"autocomp_autotune_tunes_total",
+		"Completed tune runs, by outcome (ok, error).",
+		"outcome")
+	mTrials = telemetry.Default().CounterVec(
+		"autocomp_autotune_trials_total",
+		"Trials evaluated across all tune runs, by outcome (ok, invalid).",
+		"outcome")
+	mEvals = telemetry.Default().CounterVec(
+		"autocomp_autotune_evals_total",
+		"Scenario replays evaluated across all tune runs, by scenario.",
+		"scenario")
+	mEvalSeconds = telemetry.Default().Histogram(
+		"autocomp_autotune_eval_seconds",
+		"Wall time of one scenario replay inside a trial.",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 30, 120})
+	mBestComposite = telemetry.Default().Gauge(
+		"autocomp_autotune_best_composite",
+		"Best composite score of the most recently completed tune run (1.0 = the baseline spec).")
+	mWorkers = telemetry.Default().Gauge(
+		"autocomp_autotune_workers",
+		"Worker-pool size of the most recently started tune run.")
+)

@@ -29,7 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"est", "fig1", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b",
 		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "incr", "maint",
-		"sched", "shard", "table1",
+		"sched", "shard", "table1", "tune",
 	}
 	all := All()
 	if len(all) != len(want) {

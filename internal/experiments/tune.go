@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"autocomp/internal/autotune"
+	"autocomp/internal/metrics"
+	"autocomp/internal/scenario"
+)
+
+// --- Closed-loop policy tuning: search throughput and convergence ---
+
+// TuneSample is one optimizer's tune run over the micro scenario.
+type TuneSample struct {
+	Optimizer string `json:"optimizer"`
+	Trials    int    `json:"trials"`
+	Invalid   int    `json:"invalid"`
+	// BestComposite is the winner's score against the default spec
+	// (1.0 = the baseline; lower is better) and ImprovementPct how far
+	// it strictly beats it.
+	BestComposite  float64 `json:"best_composite"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	// BestTrial is where the search found the winner — convergence
+	// speed in trials, the x-axis the paper's §6.3 plots report.
+	BestTrial int `json:"best_trial"`
+	// WallMS is the whole tune's wall time; TrialsPerSec and EvalMS the
+	// derived throughput numbers (EvalMS = mean wall per scenario
+	// replay, the harness's unit of work).
+	WallMS       float64 `json:"wall_ms"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	EvalMS       float64 `json:"eval_ms"`
+	// Trajectory is the best-so-far composite after each trial.
+	Trajectory []float64 `json:"trajectory"`
+}
+
+// TuneResult characterizes the closed tuning loop: every optimizer
+// searches the same space over the same scenario with the same tune
+// seed, so the samples compare search strategies, not workloads.
+type TuneResult struct {
+	Budget   int
+	Seed     int64
+	Workers  int
+	Scenario string
+	Dims     int
+	Samples  []TuneSample
+}
+
+// ID implements Result.
+func (TuneResult) ID() string { return "tune" }
+
+// Title implements Result.
+func (TuneResult) Title() string {
+	return "Closed-loop policy tuning: optimizer convergence and search throughput (§6.3)"
+}
+
+// Render implements Result.
+func (r TuneResult) Render() string {
+	rows := make([][]string, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []string{
+			s.Optimizer,
+			fmt.Sprintf("%d", s.Trials),
+			fmt.Sprintf("%d", s.Invalid),
+			fmt.Sprintf("%.4f", s.BestComposite),
+			fmt.Sprintf("%.2f%%", s.ImprovementPct),
+			fmt.Sprintf("%d", s.BestTrial),
+			fmt.Sprintf("%.0f", s.WallMS),
+			fmt.Sprintf("%.1f", s.TrialsPerSec),
+			fmt.Sprintf("%.2f", s.EvalMS),
+		})
+	}
+	head := fmt.Sprintf(
+		"budget %d trials, tune seed %d, %d workers, scenario %s, %d-dim space\n"+
+			"composite: weighted score vs the default spec (1.0 = baseline, lower is better)\n",
+		r.Budget, r.Seed, r.Workers, r.Scenario, r.Dims)
+	return head + metrics.RenderTable(
+		[]string{"Optimizer", "Trials", "Invalid", "Best", "Improvement", "Best@", "Wall ms", "Trials/s", "Eval ms"}, rows)
+}
+
+// Details implements the benchrunner's optional detail hook, landing
+// the convergence trajectories in the machine-readable bench
+// trajectory.
+func (r TuneResult) Details() any {
+	return struct {
+		Budget   int          `json:"budget"`
+		Seed     int64        `json:"seed"`
+		Workers  int          `json:"workers"`
+		Scenario string       `json:"scenario"`
+		Dims     int          `json:"dims"`
+		Samples  []TuneSample `json:"samples"`
+	}{r.Budget, r.Seed, r.Workers, r.Scenario, r.Dims, r.Samples}
+}
+
+// tuneSpace mirrors examples/tuning/space.json (inline so the
+// experiment does not depend on the working directory).
+func tuneSpace() *autotune.Space {
+	return &autotune.Space{
+		Name: "default-exec",
+		Dimensions: []autotune.Dimension{
+			{Field: "selector.budget_gbhr", Min: 8, Max: 65536, Log: true},
+			{Field: "execution.workers", Min: 1, Max: 32},
+			{Field: "objectives.file_count_reduction", Min: 0.05, Max: 0.75},
+			{Field: "objectives.compute_cost_gbhr", Min: 0.05, Max: 0.75},
+		},
+	}
+}
+
+// tuneScenario mirrors examples/scenarios/tuning-micro.json.
+func tuneScenario() *scenario.Spec {
+	return &scenario.Spec{
+		Name: "tuning-micro",
+		Seed: 1,
+		Days: 4,
+		Fleet: scenario.FleetSpec{
+			InitialTables: 80,
+			Databases:     4,
+		},
+		Workload: []scenario.PatternSpec{{Kind: "hot-skew", Tables: 4, Commits: 12}},
+		Faults:   &scenario.FaultSpec{WriterCommitsPerHour: 50},
+	}
+}
+
+// RunTune runs the closed tuning loop once per optimizer over the
+// micro scenario and records convergence plus search throughput. The
+// loop is deterministic, so the recorded composites are exact
+// regression surfaces; only the wall-time columns are measurements.
+func RunTune(seed int64, quick bool) (Result, error) {
+	budget := 24
+	if quick {
+		budget = 8
+	}
+	sc := tuneScenario()
+	workers := runtime.GOMAXPROCS(0)
+	res := TuneResult{
+		Budget:   budget,
+		Seed:     seed,
+		Workers:  workers,
+		Scenario: sc.Name,
+		Dims:     len(tuneSpace().Dimensions),
+	}
+	for _, opt := range []string{"cfo", "random", "grid"} {
+		evals := 0
+		start := time.Now()
+		out, err := autotune.Run(autotune.Config{
+			Space:     tuneSpace(),
+			Scenarios: []*scenario.Spec{sc},
+			Optimizer: opt,
+			Budget:    budget,
+			Seed:      seed,
+			Workers:   workers,
+			OnTrial: func(rec autotune.TrialRecord) {
+				evals += len(rec.Scenarios)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tune %s: %w", opt, err)
+		}
+		wall := time.Since(start)
+		rep := out.Report
+		sample := TuneSample{
+			Optimizer:      opt,
+			Trials:         rep.Trials,
+			Invalid:        rep.Invalid,
+			BestComposite:  rep.BestComposite,
+			ImprovementPct: rep.ImprovementPct,
+			BestTrial:      rep.BestTrial,
+			WallMS:         float64(wall.Milliseconds()),
+			Trajectory:     rep.Trajectory,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			sample.TrialsPerSec = float64(rep.Trials) / secs
+			// +1 for the baseline pass's replays.
+			if evals > 0 {
+				sample.EvalMS = wall.Seconds() * 1000 / float64(evals+len(rep.Scenarios))
+			}
+		}
+		res.Samples = append(res.Samples, sample)
+	}
+	return res, nil
+}
+
+func init() {
+	register(Spec{ExpID: "tune", Title: TuneResult{}.Title(), Run: RunTune})
+}

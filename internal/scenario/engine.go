@@ -338,6 +338,7 @@ func (e *Engine) cycleTrace(day int, reloaded bool, rep *core.Report, stats sche
 		}
 	}
 	if e.svc.Sched != nil {
+		ct.MakespanHours = stats.Makespan.Hours()
 		ct.Exec = ExecTrace{
 			Done:       stats.Done,
 			Skipped:    stats.Skipped,

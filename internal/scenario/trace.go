@@ -67,6 +67,11 @@ type CycleTrace struct {
 	// SpendGBHr is the per-shard committed budget spend (nil without an
 	// execution plane).
 	SpendGBHr []float64
+	// MakespanHours is the execution plane's virtual wall time for the
+	// cycle (zero without a scheduler). It is carried for consumers that
+	// score traces — e.g. the autotune harness — and deliberately not
+	// rendered by Marshal, so golden trace bytes are unaffected.
+	MakespanHours float64
 
 	FilesReduced    int
 	MetadataReduced int

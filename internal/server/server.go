@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"autocomp/internal/policy"
@@ -33,6 +34,15 @@ type Server struct {
 	// Logf receives operational messages (nil discards them). It is also
 	// handed to tenants created through the API.
 	Logf func(format string, args ...any)
+	// TuneWorkers bounds each tune job's evaluation pool (0 =
+	// GOMAXPROCS). The worker count never changes a tune's result bytes.
+	TuneWorkers int
+
+	// Tune-job registry (POST /api/tune).
+	tuneMu    sync.Mutex
+	tunes     map[string]*tuneJob
+	tuneOrder []string
+	tuneSeq   int
 }
 
 // Register mounts every management route on mux.
@@ -50,6 +60,7 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/tenants/{tenant}/runs/{run}", s.withRun(s.handleRunStatus))
 	mux.HandleFunc("GET /api/tenants/{tenant}/runs/{run}/events", s.withRun(s.handleRunEvents))
 	mux.HandleFunc("GET /api/tenants/{tenant}/runs/{run}/trace", s.withRun(s.handleRunTrace))
+	s.registerTune(mux)
 }
 
 func (s *Server) logf(format string, args ...any) {

@@ -36,6 +36,15 @@ func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
 // pattern) never perturbs the draws of existing ones. This is the
 // derivation rule every scenario component uses.
 func Child(seed int64, label string) *RNG {
+	return NewRNG(ChildSeed(seed, label))
+}
+
+// ChildSeed returns the seed Child would use for (seed, label) without
+// constructing the generator. Components that need a derived *seed* —
+// e.g. to pass into a sub-simulation that does its own stream
+// derivation — use this so their sub-streams obey the same
+// order-independence rule as Child streams.
+func ChildSeed(seed int64, label string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(label))
 	// Clear the sign bit of the hash and of the final XOR so the
@@ -43,7 +52,7 @@ func Child(seed int64, label string) *RNG {
 	// is a no-op for non-negative seeds, so their streams are what they
 	// always were); equal (seed, label) pairs always derive the same
 	// stream.
-	return NewRNG((seed ^ int64(h.Sum64()&0x7fffffffffffffff)) & 0x7fffffffffffffff)
+	return (seed ^ int64(h.Sum64()&0x7fffffffffffffff)) & 0x7fffffffffffffff
 }
 
 // Int63 returns a non-negative pseudo-random 63-bit integer.

@@ -42,6 +42,9 @@ type Trial struct {
 	Iteration int
 	Params    map[string]float64
 	Score     float64
+	// Restart marks trials whose configuration was drawn fresh from the
+	// restart stream rather than proposed from the incumbent (CFO only).
+	Restart bool
 }
 
 // Objective evaluates a configuration and returns its score (lower is
@@ -126,6 +129,10 @@ type CFO struct {
 	// ShrinkAfter is the number of consecutive failures before the step
 	// halves (default 2).
 	ShrinkAfter int
+	// Start, if non-nil, is the first configuration evaluated (clamped
+	// into range; missing dimensions fall back to their Min). When nil
+	// the search keeps FLAML's low-cost-first start at the Min corner.
+	Start map[string]float64
 }
 
 // Name implements Optimizer.
@@ -139,41 +146,53 @@ func (c CFO) Optimize(obj Objective, iters int) []Trial {
 	if c.ShrinkAfter <= 0 {
 		c.ShrinkAfter = 2
 	}
-	rng := sim.NewRNG(c.Seed)
+	// Perturbation and restart randomness come from independent Child
+	// streams of the seed. With a single shared stream the position of
+	// every restart draw would depend on how many perturbation draws
+	// preceded it, so changing when restarts fire (a property of the
+	// objective's scores) would silently reroll every later proposal;
+	// split streams keep the k-th restart point a pure function of
+	// (Seed, k) no matter what the objective returns.
+	perturb := sim.Child(c.Seed, "tuner/cfo/perturb")
+	restart := sim.Child(c.Seed, "tuner/cfo/restart")
 	var trials []Trial
 
-	eval := func(i int, params map[string]float64) Trial {
-		t := Trial{Iteration: i, Params: clone(params), Score: obj(params)}
+	eval := func(i int, params map[string]float64, fresh bool) Trial {
+		t := Trial{Iteration: i, Params: clone(params), Score: obj(params), Restart: fresh}
 		trials = append(trials, t)
 		return t
 	}
 
 	// Start from the low end of each range (FLAML's low-cost-first
-	// heuristic: cheap configurations are tried before expensive ones).
+	// heuristic: cheap configurations are tried before expensive ones)
+	// unless the caller supplied a warm start.
 	current := map[string]float64{}
 	for _, p := range c.Params {
-		current[p.Name] = p.Min
+		if v, ok := c.Start[p.Name]; ok {
+			current[p.Name] = p.clamp(v)
+		} else {
+			current[p.Name] = p.Min
+		}
 	}
-	best := eval(0, current)
+	best := eval(0, current, false)
 	step := c.InitialStep
 	failures := 0
 
 	for i := 1; i < iters; i++ {
 		proposal := clone(best.Params)
 		for _, p := range c.Params {
-			span := p.Max - p.Min
-			delta := (2*rng.Float64() - 1) * step * span
 			if p.Log && p.Min > 0 {
 				// Log-space move.
 				lo, hi := math.Log(p.Min), math.Log(p.Max)
 				cur := math.Log(proposal[p.Name])
-				cur += (2*rng.Float64() - 1) * step * (hi - lo)
+				cur += (2*perturb.Float64() - 1) * step * (hi - lo)
 				proposal[p.Name] = p.clamp(math.Exp(cur))
 				continue
 			}
+			delta := (2*perturb.Float64() - 1) * step * (p.Max - p.Min)
 			proposal[p.Name] = p.clamp(proposal[p.Name] + delta)
 		}
-		t := eval(i, proposal)
+		t := eval(i, proposal, false)
 		if t.Score < best.Score {
 			best = t
 			step = math.Min(step*2, 0.5)
@@ -189,11 +208,11 @@ func (c CFO) Optimize(obj Objective, iters int) []Trial {
 			// Restart from a fresh random point.
 			fresh := map[string]float64{}
 			for _, p := range c.Params {
-				fresh[p.Name] = sample(rng, p)
+				fresh[p.Name] = sample(restart, p)
 			}
 			if i+1 < iters {
 				i++
-				t := eval(i, fresh)
+				t := eval(i, fresh, true)
 				if t.Score < best.Score {
 					best = t
 				}
