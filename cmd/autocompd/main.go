@@ -293,6 +293,13 @@ func printPlanes(svc *fleet.SpecService) {
 		fmt.Printf("observation plane: incremental (trigger every %d commits, reconcile every %d cycles)\n",
 			tr.EveryCommits, svc.Compiled.ReconcileEvery)
 	}
+	if st := svc.Compiled.Storage; st.Durable() {
+		fsync := st.Fsync
+		if fsync == "" {
+			fsync = "none"
+		}
+		fmt.Printf("storage plane: durable log at %s (fsync %s)\n", st.Root, fsync)
+	}
 }
 
 // applyFlagOverrides layers the explicitly set pipeline flags onto a

@@ -64,7 +64,7 @@ type benchReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, table1, est, incr, maint, sched, shard, tune) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, table1, est, incr, maint, persist, sched, shard, tune) or 'all'")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
 	list := flag.Bool("list", false, "list experiments and exit")

@@ -33,6 +33,11 @@
 //	lakectl tune -check <trials.jsonl>
 //	                           schema-check a tune's JSONL trial log
 //
+// and the durable-storage command (internal/lstlog):
+//
+//	lakectl inspect <table-dir>              replay a persisted table's
+//	                           commit log and print the recovered state
+//
 // and the daemon-operations command:
 //
 //	lakectl status <host:port>               scrape /statusz from a
@@ -59,6 +64,7 @@ import (
 	"autocomp/internal/core"
 	"autocomp/internal/engine"
 	"autocomp/internal/lst"
+	"autocomp/internal/lstlog"
 	"autocomp/internal/metrics"
 	"autocomp/internal/policy"
 	"autocomp/internal/scenario"
@@ -70,6 +76,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	databases := flag.Int("databases", 4, "databases to create")
 	top := flag.Int("top", 15, "rows to show per listing")
+	persist := flag.String("persist", "", "build the lake on the durable commit-log backend rooted here (the directories `lakectl inspect` reads)")
 	flag.IntVar(&decideShards, "decide-shards", 0,
 		"run the dry-run decide phase sharded across N table-hash shards (byte-identical output; <=1 = serial)")
 	flag.IntVar(&decideWorkers, "decide-workers", 0,
@@ -104,15 +111,19 @@ func main() {
 		tuneCmd(flag.Args()[1:])
 		return
 	}
+	if cmd == "inspect" {
+		inspectCmd(flag.Args()[1:])
+		return
+	}
 
-	env := buildLake(*seed, *databases)
+	env := buildLake(*seed, *databases, *persist)
 	switch cmd {
 	case "overview":
 		overview(env, *top)
 	case "metadata":
 		metadataView(env, *top)
 	default:
-		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario, status, tenants, runs, tune)", cmd)
+		log.Fatalf("lakectl: unknown command %q (have: overview, metadata, policy, scenario, status, tenants, runs, tune, inspect)", cmd)
 	}
 }
 
@@ -301,9 +312,21 @@ func policyCmd(args []string) {
 	}
 }
 
-// buildLake loads a CAB-style lake into a fresh environment.
-func buildLake(seed int64, databases int) *bench.Env {
+// buildLake loads a CAB-style lake into a fresh environment. With a
+// persist root, the catalog attaches the durable commit-log backend
+// first, so every table built here leaves a real _delta_log directory
+// for `lakectl inspect` (and a _catalog.json for catalog.Restore).
+func buildLake(seed int64, databases int, persistRoot string) *bench.Env {
 	env := bench.NewEnv(bench.EnvConfig{Seed: seed})
+	if persistRoot != "" {
+		store, err := lstlog.Open(lstlog.Config{Root: persistRoot})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := env.CP.AttachLog(store); err != nil {
+			log.Fatal(err)
+		}
+	}
 	gen := workload.NewCAB(workload.CABConfig{
 		RawDataBytes: 20 * storage.GB,
 		Databases:    databases,

@@ -80,16 +80,24 @@ func tuneCmd(args []string) {
 		Seed:      *seed,
 		Workers:   *workers,
 	}
+	var trialLog *os.File
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
 		if err != nil {
 			log.Fatalf("lakectl tune: %v", err)
 		}
-		defer f.Close()
+		trialLog = f
 		cfg.TrialLog = f
 	}
 
 	res, err := autotune.Run(cfg)
+	if trialLog != nil {
+		// A full disk surfaces buffered write errors at Close; swallowing
+		// them would exit 0 with a truncated trial log.
+		if cerr := trialLog.Close(); err == nil && cerr != nil {
+			log.Fatalf("lakectl tune: write %s: %v", *logPath, cerr)
+		}
+	}
 	if err != nil {
 		log.Fatalf("lakectl tune: %v", err)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"autocomp/internal/lst"
+	"autocomp/internal/lstlog"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
 )
@@ -111,6 +112,10 @@ type ControlPlane struct {
 	// so changefeed consumers forget it (dirty state, cached stats,
 	// retained candidates).
 	dropHook func(db, name string)
+	// log, when attached (AttachLog/Restore), is the durable commit-log
+	// store: table actions stream to per-table _delta_log directories and
+	// catalog mutations rewrite the manifest.
+	log *lstlog.Store
 }
 
 // New returns a control plane over the given storage, driven by clock.
@@ -143,6 +148,9 @@ func (cp *ControlPlane) CreateDatabase(name, tenant string, quotaObjects int64) 
 	cp.tables[name] = make(map[string]*entry)
 	if quotaObjects > 0 {
 		cp.fs.SetQuota(name, quotaObjects)
+	}
+	if err := cp.persistLocked(); err != nil {
+		return nil, err
 	}
 	return db, nil
 }
@@ -189,6 +197,24 @@ func (cp *ControlPlane) CreateTableWithPolicies(db string, cfg lst.TableConfig, 
 		t.SetCommitHook(cp.commitHook)
 	}
 	ts[cfg.Name] = &entry{table: t, policies: pol}
+	if cp.log != nil {
+		// Any on-disk directory for a table the manifest does not name is
+		// debris from a create that crashed before its manifest write;
+		// clear it so the new table starts a fresh log.
+		if err := cp.log.RemoveTable(db, cfg.Name); err != nil {
+			return nil, err
+		}
+		// Durability order matters: the table's log (create action) lands
+		// before the manifest names the table. A crash in between leaves a
+		// directory the manifest does not reference — Restore ignores it,
+		// which is the "catalog pointer never moved" recovery contract.
+		if err := cp.attachTableLogLocked(db, cfg.Name, t); err != nil {
+			return nil, err
+		}
+		if err := cp.saveManifestLocked(); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -247,7 +273,7 @@ func (cp *ControlPlane) SetDatabasePolicies(db string, pol TablePolicies) error 
 		return fmt.Errorf("%w: %s", ErrDatabaseNotFound, db)
 	}
 	cp.dbPolicies[db] = pol
-	return nil
+	return cp.persistLocked()
 }
 
 // DatabasePolicies returns the database-level policy overrides, when
@@ -292,7 +318,7 @@ func (cp *ControlPlane) SetPolicies(db, name string, pol TablePolicies) error {
 		return fmt.Errorf("%w: %s.%s", ErrTableNotFound, db, name)
 	}
 	e.policies = pol
-	return nil
+	return cp.persistLocked()
 }
 
 // Tables returns the tables of one database sorted by name.
@@ -349,7 +375,16 @@ func (cp *ControlPlane) DropTable(db, name string) error {
 		return err
 	}
 	dropped.SetCommitHook(nil)
+	dropped.SetActionSink(nil)
 	cp.mu.Lock()
+	if cp.log != nil {
+		if rmErr := cp.log.RemoveTable(db, name); rmErr != nil && err == nil {
+			err = rmErr
+		}
+		if pErr := cp.saveManifestLocked(); pErr != nil && err == nil {
+			err = pErr
+		}
+	}
 	hook := cp.dropHook
 	cp.mu.Unlock()
 	if hook != nil {

@@ -1,0 +1,188 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"autocomp/internal/lst"
+	"autocomp/internal/lstlog"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// manifestName is the control-plane manifest file under the store root.
+// It is the catalog's durable pointer set: a table exists durably only
+// once it appears here, so a crash between a table's first action file
+// and the manifest write recovers to a lake without the table.
+const manifestName = "_catalog.json"
+
+// logManifest is the serialized control-plane state: databases, quotas,
+// policy layers, and the tables whose _delta_log directories Restore
+// replays.
+type logManifest struct {
+	Version   int                `json:"version"`
+	Databases []manifestDatabase `json:"databases"`
+}
+
+type manifestDatabase struct {
+	Name         string          `json:"name"`
+	Tenant       string          `json:"tenant,omitempty"`
+	QuotaObjects int64           `json:"quota_objects,omitempty"`
+	Policies     *TablePolicies  `json:"policies,omitempty"`
+	Tables       []manifestTable `json:"tables,omitempty"`
+}
+
+type manifestTable struct {
+	Name     string         `json:"name"`
+	Policies *TablePolicies `json:"policies,omitempty"`
+}
+
+// AttachLog wires the durable commit-log store into the control plane:
+// every existing table gets a per-table log (bootstrapped with its
+// creation action, or a compacted state artifact when it already has
+// history), every future CreateTable/DropTable/policy change persists,
+// and the manifest is written. From here on the lake survives a process
+// kill: Restore rebuilds it from the store root.
+func (cp *ControlPlane) AttachLog(store *lstlog.Store) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.log = store
+	for db, ts := range cp.tables {
+		for name, e := range ts {
+			if err := cp.attachTableLogLocked(db, name, e.table); err != nil {
+				return err
+			}
+		}
+	}
+	return cp.saveManifestLocked()
+}
+
+// attachTableLogLocked creates the table's log, bootstraps it when
+// empty, and installs the action sink.
+func (cp *ControlPlane) attachTableLogLocked(db, name string, t *lst.Table) error {
+	tlog, err := cp.log.CreateTableLog(db, name)
+	if err != nil {
+		return err
+	}
+	if tlog.NextLSN() == 0 {
+		st := t.State()
+		if st.Version == 0 && st.WriteCount == 0 && len(st.Meta) == 1 {
+			// A fresh table: its whole history is the create action.
+			if err := tlog.Append(t.CreateAction()); err != nil {
+				return err
+			}
+		} else {
+			// A table with pre-log history: bootstrap the log with a
+			// checkpoint action embedding the full state, which Append
+			// materializes as a compacted artifact recovery prefers.
+			if err := tlog.Append(lst.Action{
+				Kind: lst.ActionCheckpoint, Version: st.Version,
+				At: cp.clock.Now(), State: st,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	t.SetActionSink(tlog.Sink())
+	return nil
+}
+
+// saveManifestLocked writes the control-plane manifest. Caller holds
+// cp.mu and has verified cp.log != nil.
+func (cp *ControlPlane) saveManifestLocked() error {
+	m := logManifest{Version: 1}
+	dbNames := make([]string, 0, len(cp.dbs))
+	for name := range cp.dbs {
+		dbNames = append(dbNames, name)
+	}
+	sort.Strings(dbNames)
+	for _, dbName := range dbNames {
+		db := cp.dbs[dbName]
+		md := manifestDatabase{Name: db.Name, Tenant: db.Tenant}
+		if q, ok := cp.fs.QuotaFor(db.Name); ok {
+			md.QuotaObjects = q.Max
+		}
+		if pol, ok := cp.dbPolicies[db.Name]; ok {
+			p := pol
+			md.Policies = &p
+		}
+		tNames := make([]string, 0, len(cp.tables[dbName]))
+		for name := range cp.tables[dbName] {
+			tNames = append(tNames, name)
+		}
+		sort.Strings(tNames)
+		for _, name := range tNames {
+			mt := manifestTable{Name: name}
+			if pol := cp.tables[dbName][name].policies; pol != (TablePolicies{}) {
+				p := pol
+				mt.Policies = &p
+			}
+			md.Tables = append(md.Tables, mt)
+		}
+		m.Databases = append(m.Databases, md)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return cp.log.WriteRootFile(manifestName, append(data, '\n'))
+}
+
+// persistLocked saves the manifest when a log is attached; callers that
+// mutated catalog state (not table state — the per-table logs carry
+// that) call this before unlocking.
+func (cp *ControlPlane) persistLocked() error {
+	if cp.log == nil {
+		return nil
+	}
+	return cp.saveManifestLocked()
+}
+
+// Restore rebuilds a control plane from a store root written by a
+// previous process: the manifest's databases, quotas, and policy layers
+// are recreated, then every manifest table is reopened by replaying its
+// commit log into fs. Table directories the manifest does not name are
+// ignored — their create never became durable in the catalog. A store
+// with no manifest restores to an empty lake. Commit hooks are not
+// restored; reattach the changefeed after Restore as at first boot.
+func Restore(store *lstlog.Store, fs *storage.NameNode, clock *sim.Clock) (*ControlPlane, error) {
+	cp := New(fs, clock)
+	cp.log = store
+	data, err := store.ReadRootFile(manifestName)
+	if errors.Is(err, os.ErrNotExist) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: reading manifest: %w", err)
+	}
+	var m logManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("catalog: parsing manifest: %w", err)
+	}
+	for _, md := range m.Databases {
+		cp.dbs[md.Name] = &Database{Name: md.Name, Tenant: md.Tenant}
+		cp.tables[md.Name] = make(map[string]*entry)
+		if md.QuotaObjects > 0 {
+			fs.SetQuota(md.Name, md.QuotaObjects)
+		}
+		if md.Policies != nil {
+			cp.dbPolicies[md.Name] = *md.Policies
+		}
+		for _, mt := range md.Tables {
+			t, tlog, err := store.OpenTable(md.Name, mt.Name, fs, clock)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: restoring %s.%s: %w", md.Name, mt.Name, err)
+			}
+			t.SetActionSink(tlog.Sink())
+			e := &entry{table: t}
+			if mt.Policies != nil {
+				e.policies = *mt.Policies
+			}
+			cp.tables[md.Name][mt.Name] = e
+		}
+	}
+	return cp, nil
+}

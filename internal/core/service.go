@@ -39,6 +39,25 @@ type Config struct {
 	// (internal/decideshard) attaches here via the policy compiler's
 	// decide_shards knob; nil keeps the single-goroutine pass.
 	Decider Decider
+
+	// Clock, when set, supplies the instants latency telemetry is
+	// stamped with. A simulation passes its virtual clock here so the
+	// latency histograms are a deterministic function of the seed
+	// instead of leaking host wall time into the metric stream; nil
+	// means the process wall clock.
+	Clock func() time.Duration
+}
+
+// procStart anchors the wall-clock fallback for latency stamps.
+var procStart = time.Now()
+
+// clockNow returns the instant latency telemetry is stamped with: the
+// configured Clock, or monotonic process wall time.
+func (cfg *Config) clockNow() time.Duration {
+	if cfg.Clock != nil {
+		return cfg.Clock()
+	}
+	return time.Since(procStart)
 }
 
 // Service is a configured AutoComp instance.
@@ -103,7 +122,7 @@ type Decision struct {
 // When a Decider is configured it runs the decide pass; the serial path
 // otherwise.
 func (s *Service) Decide() (*Decision, error) {
-	started := time.Now()
+	started := s.cfg.clockNow()
 	var d *Decision
 	var err error
 	if s.cfg.Decider != nil {
@@ -114,7 +133,7 @@ func (s *Service) Decide() (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	noteDecision(d, time.Since(started).Seconds())
+	noteDecision(d, (s.cfg.clockNow() - started).Seconds())
 	return d, nil
 }
 

@@ -14,7 +14,7 @@ var (
 		"Observe-decide cycles run (Decide calls).")
 	mCycleLatency = telemetry.Default().Histogram(
 		"autocomp_core_decide_latency_seconds",
-		"Wall-clock latency of the decide phase (generation through planning).",
+		"Latency of the decide phase (generation through planning), on the configured clock (virtual under simulation).",
 		telemetry.ExpBuckets(0.0005, 4, 10))
 	mGenerated = telemetry.Default().Counter(
 		"autocomp_core_candidates_generated_total",

@@ -72,7 +72,15 @@ type Options struct {
 	// min(Shards, GOMAXPROCS). More workers than shards is never useful
 	// (work is per-shard) and is capped.
 	Workers int
+	// Clock, when set, supplies the instants the engine's per-shard
+	// timing stats and latency histograms are stamped with — a
+	// simulation passes its virtual clock so the metric stream is
+	// seed-deterministic; nil means the process wall clock.
+	Clock func() time.Duration
 }
+
+// procStart anchors the wall-clock fallback for timing stamps.
+var procStart = time.Now()
 
 // Engine is a sharded decide plane bound to a fixed shard count. Create
 // one with New and attach its Decide method as core.Config.Decider (the
@@ -81,6 +89,7 @@ type Options struct {
 type Engine struct {
 	shards  int
 	workers int
+	clock   func() time.Duration
 
 	mu sync.Mutex
 	// Scratch pools, reused across cycles (see the package doc).
@@ -167,7 +176,16 @@ func New(opts Options) *Engine {
 	if w < 1 {
 		w = 1
 	}
-	return &Engine{shards: s, workers: w}
+	return &Engine{shards: s, workers: w, clock: opts.Clock}
+}
+
+// now returns the instant timing stats are stamped with: the configured
+// clock, or monotonic process wall time.
+func (e *Engine) now() time.Duration {
+	if e.clock != nil {
+		return e.clock()
+	}
+	return time.Since(procStart)
 }
 
 // Shards returns the engine's shard count.
@@ -206,7 +224,7 @@ func (e *Engine) Decide(cfg *core.Config) (*core.Decision, error) {
 	outs := e.outs()
 	pr, parallelRank := cfg.Ranker.(core.ParallelRanker)
 	e.runShards(func(s int) {
-		started := time.Now()
+		started := e.now()
 		out := &outs[s]
 		cands := genFn(s)
 		out.generated = len(cands)
@@ -231,7 +249,7 @@ func (e *Engine) Decide(cfg *core.Config) (*core.Decision, error) {
 		if parallelRank {
 			out.stats = pr.ShardStats(cands)
 		}
-		e.last.ShardPipeline[s] = time.Since(started)
+		e.last.ShardPipeline[s] = e.now() - started
 		mShardSeconds.With("pipeline").Observe(e.last.ShardPipeline[s].Seconds())
 	})
 	for s := range outs {
@@ -254,14 +272,14 @@ func (e *Engine) Decide(cfg *core.Config) (*core.Decision, error) {
 		global := pr.MergeStats(stats)
 		ranked := e.ranked()
 		e.runShards(func(s int) {
-			started := time.Now()
+			started := e.now()
 			ranked[s] = pr.RankShard(parts[s], global)
-			e.last.ShardRank[s] = time.Since(started)
+			e.last.ShardRank[s] = e.now() - started
 			mShardSeconds.With("rank").Observe(e.last.ShardRank[s].Seconds())
 		})
-		started := time.Now()
+		started := e.now()
 		d.Ranked = MergeRanked(ranked)
-		e.last.Merge = time.Since(started)
+		e.last.Merge = e.now() - started
 		mMergeSeconds.Observe(e.last.Merge.Seconds())
 	} else {
 		e.last.RankFallback = true

@@ -29,7 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"est", "fig1", "fig10a", "fig10b", "fig10c", "fig11a", "fig11b",
 		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "incr", "maint",
-		"sched", "shard", "table1", "tune",
+		"persist", "sched", "shard", "table1", "tune",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -390,6 +390,22 @@ func TestRendersContainHeaders(t *testing.T) {
 		if !strings.Contains(res.Render(), pair[1]) {
 			t.Fatalf("%s render missing %q:\n%s", pair[0], pair[1], res.Render())
 		}
+	}
+}
+
+func TestPersistExperimentShape(t *testing.T) {
+	res := runQuick(t, "persist").(PersistResult)
+	if res.Versions == 0 || res.Checkpoints == 0 || res.LogFiles == 0 {
+		t.Fatalf("degenerate log: %+v", res)
+	}
+	if !res.StatesMatch {
+		t.Fatal("recovery paths reconstructed divergent states")
+	}
+	// Checkpoint resume must clearly beat a full tail replay. The
+	// committed BENCH_autocomp.json records >10x at full scale; the
+	// unit-test bar is loose because CI timing is noisy.
+	if res.Speedup < 2 {
+		t.Fatalf("checkpoint resume speedup = %.1fx, want >= 2x", res.Speedup)
 	}
 }
 

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"autocomp/internal/lst"
+	"autocomp/internal/lstlog"
+	"autocomp/internal/metrics"
+	"autocomp/internal/sim"
+	"autocomp/internal/storage"
+)
+
+// --- Durable commit log: cold-start recovery cost ---
+
+// PersistResult measures what metadata checkpointing buys a restart: a
+// table with a long commit history is recovered twice from the same
+// on-disk _delta_log — once replaying the full action tail from LSN 0,
+// once resuming from the newest compacted artifact — and both
+// reconstructions must land on the identical state the writer left.
+type PersistResult struct {
+	// Versions is the committed table version count; Checkpoints is how
+	// many compacted artifacts the run left behind.
+	Versions    int64
+	Checkpoints int
+
+	// LogFiles/LogBytes describe the on-disk _delta_log.
+	LogFiles int
+	LogBytes int64
+
+	// FullReplayMS recovers by replaying every action from LSN 0;
+	// CheckpointMS resumes from the newest compacted artifact. Both are
+	// the best of several cold opens.
+	FullReplayMS float64
+	CheckpointMS float64
+	// Speedup is FullReplayMS / CheckpointMS.
+	Speedup float64
+
+	// StatesMatch reports whether both recovery paths reconstructed the
+	// writer's exact final state.
+	StatesMatch bool
+}
+
+// ID implements Result.
+func (PersistResult) ID() string { return "persist" }
+
+// Title implements Result.
+func (PersistResult) Title() string {
+	return "Durable commit log: cold-start recovery, full replay vs checkpoint resume"
+}
+
+// Render implements Result.
+func (r PersistResult) Render() string {
+	body := metrics.RenderTable(
+		[]string{"Recovery path", "Time (ms)", "Speedup"},
+		[][]string{
+			{"full tail replay (LSN 0)", fmt.Sprintf("%.2f", r.FullReplayMS), "1.0x"},
+			{"checkpoint resume", fmt.Sprintf("%.2f", r.CheckpointMS), fmt.Sprintf("%.1fx", r.Speedup)},
+		})
+	body += fmt.Sprintf("\nlog: %d versions, %d checkpoints, %d files, %.1f KiB on disk\n",
+		r.Versions, r.Checkpoints, r.LogFiles, float64(r.LogBytes)/(1<<10))
+	body += fmt.Sprintf("recovered states identical: %v\n", r.StatesMatch)
+	return body
+}
+
+// Details implements the benchrunner's optional detail hook, landing
+// the recovery numbers in the machine-readable bench trajectory.
+func (r PersistResult) Details() any {
+	return struct {
+		Versions     int64   `json:"versions"`
+		Checkpoints  int     `json:"checkpoints"`
+		LogFiles     int     `json:"log_files"`
+		LogBytes     int64   `json:"log_bytes"`
+		FullReplayMS float64 `json:"full_replay_ms"`
+		CheckpointMS float64 `json:"checkpoint_resume_ms"`
+		Speedup      float64 `json:"speedup"`
+	}{r.Versions, r.Checkpoints, r.LogFiles, r.LogBytes, r.FullReplayMS, r.CheckpointMS, r.Speedup}
+}
+
+// RunPersist builds a logged table with a long commit history plus
+// periodic metadata checkpoints, then times the two recovery paths
+// against the same directory.
+func RunPersist(seed int64, quick bool) (Result, error) {
+	commits, checkpointEvery := 1000, 100
+	if quick {
+		commits, checkpointEvery = 250, 50
+	}
+
+	dir, err := os.MkdirTemp("", "autocomp-persist-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := lstlog.Open(lstlog.Config{Root: dir})
+	if err != nil {
+		return nil, err
+	}
+
+	clock := sim.NewClock()
+	fs := storage.NewNameNode(storage.DefaultConfig(), clock, sim.NewRNG(seed))
+	tbl, err := lst.NewTable(lst.TableConfig{
+		Database: "db", Name: "events",
+		Spec: lst.PartitionSpec{Column: "day", Transform: lst.TransformDay},
+	}, fs, clock)
+	if err != nil {
+		return nil, err
+	}
+	tlog, err := store.CreateTableLog("db", "events")
+	if err != nil {
+		return nil, err
+	}
+	if err := tlog.Append(tbl.CreateAction()); err != nil {
+		return nil, err
+	}
+	tbl.SetActionSink(tlog.Sink())
+
+	res := PersistResult{}
+	parts := []string{"2024-01-01", "2024-01-02", "2024-01-03"}
+	for i := 0; i < commits; i++ {
+		clock.Advance(time.Minute)
+		if _, err := tbl.AppendFiles([]lst.FileSpec{
+			{Partition: parts[i%3], SizeBytes: int64(4+i%5) * storage.MB, RowCount: int64(1000 + i)},
+			{Partition: parts[i%3], SizeBytes: 2 * storage.MB, RowCount: 500},
+		}); err != nil {
+			return nil, err
+		}
+		if (i+1)%25 == 0 {
+			// A compaction-shaped overwrite: collapses the partition's
+			// accumulated small files, keeping the live file set bounded.
+			if _, err := tbl.OverwritePartition(parts[i%3], []lst.FileSpec{
+				{Partition: parts[i%3], SizeBytes: 256 * storage.MB, RowCount: 100_000},
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if (i+1)%checkpointEvery == 0 {
+			// Routine maintenance, as the pipeline would schedule it:
+			// expiry keeps the snapshot history (and so the checkpoint
+			// artifact) bounded, then the checkpoint emits the artifact.
+			if _, err := tbl.ExpireSnapshots(20); err != nil {
+				return nil, err
+			}
+			if _, err := tbl.Checkpoint(); err != nil {
+				return nil, err
+			}
+			res.Checkpoints++
+		}
+	}
+	res.Versions = tbl.Version()
+	want := tbl.State()
+
+	logDir := filepath.Join(store.TableDir("db", "events"), "_delta_log")
+	entries, err := os.ReadDir(logDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			res.LogFiles++
+			res.LogBytes += info.Size()
+		}
+	}
+
+	// Each recovery path gets several cold opens against fresh substrates;
+	// keep the best, as a microbenchmark would.
+	const rounds = 5
+	var lastTail, lastCkpt *lst.Table
+	tailMS, ckptMS := -1.0, -1.0
+	for r := 0; r < rounds; r++ {
+		fsT := storage.NewNameNode(storage.DefaultConfig(), sim.NewClock(), sim.NewRNG(seed))
+		start := time.Now()
+		t1, _, err := lstlog.OpenTableTail(store.TableDir("db", "events"), fsT, sim.NewClock())
+		if err != nil {
+			return nil, err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; tailMS < 0 || ms < tailMS {
+			tailMS = ms
+		}
+		lastTail = t1
+
+		fsC := storage.NewNameNode(storage.DefaultConfig(), sim.NewClock(), sim.NewRNG(seed))
+		start = time.Now()
+		t2, _, err := lstlog.OpenTable(store.TableDir("db", "events"), fsC, sim.NewClock())
+		if err != nil {
+			return nil, err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; ckptMS < 0 || ms < ckptMS {
+			ckptMS = ms
+		}
+		lastCkpt = t2
+	}
+	res.FullReplayMS, res.CheckpointMS = tailMS, ckptMS
+	if ckptMS > 0 {
+		res.Speedup = tailMS / ckptMS
+	}
+	res.StatesMatch = reflect.DeepEqual(want, lastTail.State()) &&
+		reflect.DeepEqual(want, lastCkpt.State())
+	if !res.StatesMatch {
+		return nil, fmt.Errorf("persist: recovery paths reconstructed divergent states")
+	}
+	return res, nil
+}
+
+func init() {
+	register(Spec{ExpID: "persist", Title: PersistResult{}.Title(), Run: RunPersist})
+}

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"autocomp/internal/sim"
+)
+
+// TableState is one table's aggregate model, serialized. Field names
+// mirror Table's internals; see there for semantics.
+type TableState struct {
+	DB          string `json:"db"`
+	Name        string `json:"name"`
+	Partitioned bool   `json:"partitioned,omitempty"`
+	Partitions  int    `json:"partitions"`
+
+	Counts [3]int64 `json:"counts"`
+	Bytes  [3]int64 `json:"bytes"`
+
+	Created   time.Duration `json:"created_ns"`
+	LastWrite time.Duration `json:"last_write_ns"`
+	Writes    int64         `json:"writes"`
+
+	GrowthPerDay float64 `json:"growth_per_day"`
+	AvgNewFile   int64   `json:"avg_new_file"`
+	ScanShare    float64 `json:"scan_share"`
+
+	MetaJSONs         int64 `json:"meta_jsons"`
+	Manifests         int64 `json:"manifests"`
+	Checkpoints       int64 `json:"checkpoints"`
+	MetaBytes         int64 `json:"meta_bytes"`
+	Snapshots         int64 `json:"snapshots"`
+	Commits           int64 `json:"commits"`
+	VersionsSinceCkpt int64 `json:"versions_since_ckpt"`
+
+	Props map[string]string `json:"props,omitempty"`
+}
+
+// RNGState records how many draws each of the fleet's independent
+// randomness streams has consumed; Restore fast-forwards fresh streams
+// to the same positions so post-restore dynamics are byte-identical to
+// an uninterrupted run.
+type RNGState struct {
+	Tables int64 `json:"tables"`
+	Writes int64 `json:"writes"`
+	Scans  int64 `json:"scans"`
+	Exec   int64 `json:"exec"`
+}
+
+// State is a complete fleet snapshot: configuration, virtual time,
+// every table's aggregate model, and the RNG stream positions.
+type State struct {
+	Config        Config        `json:"config"`
+	Day           int           `json:"day"`
+	Onboarded     int           `json:"onboarded"`
+	Now           time.Duration `json:"now_ns"`
+	OpenCalls     int64         `json:"open_calls"`
+	MetaOpenCalls int64         `json:"meta_open_calls"`
+	RNG           RNGState      `json:"rng"`
+	Tables        []TableState  `json:"tables"`
+}
+
+// Snapshot captures the fleet's full state. The changefeed bus is not
+// part of it — observation-plane attachments are reconstructed by the
+// harness after Restore, as at first boot.
+func (f *Fleet) Snapshot() *State {
+	st := &State{
+		Config:        f.cfg,
+		Day:           f.day,
+		Onboarded:     f.onboarded,
+		Now:           f.clock.Now(),
+		OpenCalls:     f.openCalls,
+		MetaOpenCalls: f.metaOpenCalls,
+		RNG: RNGState{
+			Tables: f.rngTables.Draws(),
+			Writes: f.rngWrites.Draws(),
+			Scans:  f.rngScans.Draws(),
+			Exec:   f.rngExec.Draws(),
+		},
+		Tables: make([]TableState, 0, len(f.tables)),
+	}
+	for _, t := range f.tables {
+		ts := TableState{
+			DB: t.db, Name: t.name,
+			Partitioned: t.partitioned, Partitions: t.partitions,
+			Counts: t.counts, Bytes: t.bytes,
+			Created: t.created, LastWrite: t.lastWrite, Writes: t.writes,
+			GrowthPerDay: t.growthPerDay, AvgNewFile: t.avgNewFile, ScanShare: t.scanShare,
+			MetaJSONs: t.metaJSONs, Manifests: t.manifests, Checkpoints: t.checkpoints,
+			MetaBytes: t.metaBytes, Snapshots: t.snapshots, Commits: t.commits,
+			VersionsSinceCkpt: t.versionsSinceCkpt,
+		}
+		if len(t.props) > 0 {
+			ts.Props = make(map[string]string, len(t.props))
+			for k, v := range t.props {
+				ts.Props[k] = v
+			}
+		}
+		st.Tables = append(st.Tables, ts)
+	}
+	return st
+}
+
+// Restore rebuilds a fleet from a snapshot without re-running its
+// history: tables are materialized directly, the per-database file
+// cache recomputed, virtual time advanced to the snapshot's, and every
+// RNG stream fast-forwarded to its recorded draw count — so the day
+// after a restore draws exactly what the day after the snapshot would
+// have.
+func Restore(st *State, clock *sim.Clock) (*Fleet, error) {
+	if st == nil {
+		return nil, fmt.Errorf("fleet: nil snapshot")
+	}
+	if now := clock.Now(); now < st.Now {
+		clock.Set(st.Now)
+	} else if now > st.Now {
+		return nil, fmt.Errorf("fleet: clock at %v is past the snapshot's %v", now, st.Now)
+	}
+	f := &Fleet{
+		cfg:           st.Config,
+		clock:         clock,
+		rngTables:     sim.NewRNGAt(sim.ChildSeed(st.Config.Seed, "fleet/tables"), st.RNG.Tables),
+		rngWrites:     sim.NewRNGAt(sim.ChildSeed(st.Config.Seed, "fleet/writes"), st.RNG.Writes),
+		rngScans:      sim.NewRNGAt(sim.ChildSeed(st.Config.Seed, "fleet/scans"), st.RNG.Scans),
+		rngExec:       sim.NewRNGAt(sim.ChildSeed(st.Config.Seed, "fleet/exec"), st.RNG.Exec),
+		dbFiles:       make(map[string]int64),
+		day:           st.Day,
+		onboarded:     st.Onboarded,
+		openCalls:     st.OpenCalls,
+		metaOpenCalls: st.MetaOpenCalls,
+	}
+	f.tables = make([]*Table, 0, len(st.Tables))
+	for _, ts := range st.Tables {
+		t := &Table{
+			db: ts.DB, name: ts.Name,
+			partitioned: ts.Partitioned, partitions: ts.Partitions,
+			counts: ts.Counts, bytes: ts.Bytes,
+			created: ts.Created, lastWrite: ts.LastWrite, writes: ts.Writes,
+			growthPerDay: ts.GrowthPerDay, avgNewFile: ts.AvgNewFile, scanShare: ts.ScanShare,
+			metaJSONs: ts.MetaJSONs, manifests: ts.Manifests, checkpoints: ts.Checkpoints,
+			metaBytes: ts.MetaBytes, snapshots: ts.Snapshots, commits: ts.Commits,
+			versionsSinceCkpt: ts.VersionsSinceCkpt,
+			fleet:             f,
+		}
+		if len(ts.Props) > 0 {
+			t.props = make(map[string]string, len(ts.Props))
+			for k, v := range ts.Props {
+				t.props[k] = v
+			}
+		}
+		f.tables = append(f.tables, t)
+		f.addDBFiles(t.db, t.counts[0]+t.counts[1]+t.counts[2])
+	}
+	f.refreshGauges()
+	return f, nil
+}
+
+// Clock returns the fleet's clock.
+func (f *Fleet) Clock() *sim.Clock { return f.clock }

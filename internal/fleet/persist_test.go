@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"autocomp/internal/sim"
+)
+
+// TestPersistFleetRoundTrip snapshots a fleet mid-run, restores it into
+// a fresh process image (new clock, new RNG streams), and requires the
+// remaining days — organic writes, drift, onboarding, scans, writer
+// commits — to unfold byte-identically to the uninterrupted original.
+func TestPersistFleetRoundTrip(t *testing.T) {
+	cfg := Config{
+		Seed:                42,
+		InitialTables:       120,
+		Databases:           6,
+		QuotaObjectsPerDB:   500_000,
+		TablesPerMonth:      60,
+		InitialTinyFraction: 0.8,
+		DailyDriftProb:      0.01,
+		DailyWriteProb:      0.5,
+	}
+	run := func(days int) *Fleet {
+		f := New(cfg, sim.NewClock())
+		for d := 0; d < days; d++ {
+			f.AdvanceDay()
+			f.RunDailyScans()
+			f.Tables()[d%len(f.Tables())].WriterCommit(5)
+		}
+		return f
+	}
+
+	const split, total = 7, 14
+	orig := run(total)
+
+	// Snapshot at the split, round-trip through JSON (the tenant's
+	// persistence format), restore, then run the remaining days.
+	mid := run(split)
+	data, err := json.Marshal(mid.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&st, sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Day() != split {
+		t.Fatalf("restored day = %d, want %d", restored.Day(), split)
+	}
+	for d := split; d < total; d++ {
+		restored.AdvanceDay()
+		restored.RunDailyScans()
+		restored.Tables()[d%len(restored.Tables())].WriterCommit(5)
+	}
+
+	want, got := orig.Snapshot(), restored.Snapshot()
+	if !reflect.DeepEqual(want, got) {
+		if want.RNG != got.RNG {
+			t.Errorf("RNG positions diverged: want %+v got %+v", want.RNG, got.RNG)
+		}
+		for i := range want.Tables {
+			if i < len(got.Tables) && !reflect.DeepEqual(want.Tables[i], got.Tables[i]) {
+				t.Fatalf("table %d diverged\nwant: %+v\ngot:  %+v", i, want.Tables[i], got.Tables[i])
+			}
+		}
+		t.Fatalf("restored fleet diverged\nwant: %+v\ngot:  %+v",
+			struct {
+				Day       int
+				Onboarded int
+				Open      int64
+				MetaOpen  int64
+			}{want.Day, want.Onboarded, want.OpenCalls, want.MetaOpenCalls},
+			struct {
+				Day       int
+				Onboarded int
+				Open      int64
+				MetaOpen  int64
+			}{got.Day, got.Onboarded, got.OpenCalls, got.MetaOpenCalls})
+	}
+}

@@ -140,7 +140,10 @@ func (f *Fleet) ServiceFromSpec(spec *policy.Spec, model CompactionModel, opts S
 // emits one telemetry.CycleEvent on the default tracer — the decision
 // trace autocompd logs, streams as JSONL, and serves on /statusz.
 func (s *SpecService) RunCycle() (*core.Report, scheduler.Stats, error) {
-	started := time.Now()
+	// The cycle cost is measured on the fleet's clock — virtual time, so
+	// the emitted trace (WallMS included) is a deterministic function of
+	// the seed rather than a leak of host wall time.
+	started := s.fleet.clock.Now()
 	var rep *core.Report
 	var stats scheduler.Stats
 	var err error
@@ -152,7 +155,7 @@ func (s *SpecService) RunCycle() (*core.Report, scheduler.Stats, error) {
 	if err != nil {
 		return rep, stats, err
 	}
-	s.emitCycleEvent(rep, stats, time.Since(started))
+	s.emitCycleEvent(rep, stats, s.fleet.clock.Now()-started)
 	return rep, stats, nil
 }
 

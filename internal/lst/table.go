@@ -61,6 +61,9 @@ type Table struct {
 	// onCommit, when set, observes every successful state change
 	// (transaction commits and maintenance operations).
 	onCommit CommitHook
+	// actionSink, when set, receives every state change as a durable
+	// commit-log Action, synchronously under the table lock.
+	actionSink ActionSink
 }
 
 // CommitEvent describes one committed state change on a table, delivered
@@ -547,6 +550,11 @@ func (t *Table) expireSnapshots(keepLast int) (int, error) {
 		kept = append(kept, m)
 	}
 	t.metaObjects = kept
+	if deleted > 0 && t.actionSink != nil {
+		if err := t.actionSink(Action{Kind: ActionExpire, Version: t.version, At: t.clock.Now(), KeepLast: keepLast}); err != nil {
+			return deleted, err
+		}
+	}
 	return deleted, nil
 }
 
@@ -661,6 +669,11 @@ func (t *Table) checkpoint() (MaintenanceResult, error) {
 	}
 	t.metaObjects = append(kept, metaObject{path: path, kind: metaCheckpoint, ref: t.version, size: size})
 	t.lastCheckpointVersion = t.version
+	if t.actionSink != nil {
+		if err := t.actionSink(Action{Kind: ActionCheckpoint, Version: t.version, At: t.clock.Now(), State: t.stateLocked()}); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }
 
@@ -728,5 +741,10 @@ func (t *Table) rewriteManifests() (MaintenanceResult, error) {
 		res.BytesReclaimed += m.size
 	}
 	t.metaObjects = append(kept, added...)
+	if t.actionSink != nil {
+		if err := t.actionSink(Action{Kind: ActionRewriteManifests, Version: t.version, At: t.clock.Now()}); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }

@@ -138,12 +138,13 @@ func (tx *Transaction) commit() (*Snapshot, error) {
 	t.nextSnapID++
 	snapID := t.nextSnapID
 	var addedBytes int64
+	addedFiles := make([]DataFile, 0, len(tx.adds))
 	for _, spec := range tx.adds {
 		path := t.dataPathLocked(spec.Partition)
 		if err := t.fs.Create(path, spec.SizeBytes); err != nil {
 			return nil, err
 		}
-		t.files[path] = &DataFile{
+		df := &DataFile{
 			Path:      path,
 			Partition: spec.Partition,
 			SizeBytes: spec.SizeBytes,
@@ -153,6 +154,8 @@ func (tx *Transaction) commit() (*Snapshot, error) {
 			AddedAt:   t.clock.Now(),
 			Snapshot:  snapID,
 		}
+		t.files[path] = df
+		addedFiles = append(addedFiles, *df)
 		addedBytes += spec.SizeBytes
 	}
 
@@ -186,6 +189,26 @@ func (tx *Transaction) commit() (*Snapshot, error) {
 	t.lastWrite = t.clock.Now()
 	t.writeCount++
 	out := *snap
+	if t.actionSink != nil {
+		rec := *snap
+		op := tx.op
+		if err := t.actionSink(Action{
+			Kind:       ActionCommit,
+			Version:    t.version,
+			At:         t.clock.Now(),
+			Op:         &op,
+			Added:      addedFiles,
+			Removed:    append([]string(nil), tx.removes...),
+			Snapshot:   &rec,
+			NextFileID: t.nextFileID,
+		}); err != nil {
+			// The in-memory commit has landed but its log record has not:
+			// the table is now ahead of its durable log, exactly as a
+			// crash between apply and log write would leave it. Surface
+			// the durability failure to the committer.
+			return nil, fmt.Errorf("lst: commit logged no action: %w", err)
+		}
+	}
 	return &out, nil
 }
 

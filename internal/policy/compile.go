@@ -96,6 +96,10 @@ type Compiled struct {
 	// data-only); Source resolves the layered per-table policies.
 	Maintenance maintenance.Policy
 	Source      *Source
+	// Storage is the validated storage section (zero Backend means the
+	// in-memory default; Backend "log" means the consumer should open an
+	// lstlog store at Root and persist the lake).
+	Storage StorageSpec
 }
 
 // Builder constructs components against an environment and registry;
@@ -338,6 +342,10 @@ func Compile(s *Spec, env Env, b Bindings) (*Compiled, error) {
 			RewriteBytesPerHour: env.RewriteBytesPerHour,
 		}
 	}
+	// Latency telemetry runs on the environment's clock: virtual time
+	// under simulation (seed-deterministic histograms), wall time when
+	// the env has no clock.
+	cfg.Clock = env.Now
 	out.Core = cfg
 
 	// Execution plane.
@@ -357,7 +365,7 @@ func Compile(s *Spec, env Env, b Bindings) (*Compiled, error) {
 		}
 		if ex.DecideShards > 1 {
 			out.DecideShards = ex.DecideShards
-			eng := decideshard.New(decideshard.Options{Shards: ex.DecideShards, Workers: ex.DecideWorkers})
+			eng := decideshard.New(decideshard.Options{Shards: ex.DecideShards, Workers: ex.DecideWorkers, Clock: env.Now})
 			out.Core.Decider = eng.Decide
 		}
 		var staleness int64
@@ -390,6 +398,31 @@ func Compile(s *Spec, env Env, b Bindings) (*Compiled, error) {
 		}
 		out.Triggers = out.Source.TriggerFor
 		out.ReconcileEvery = tr.ReconcileEvery
+	}
+
+	// Storage backend.
+	if st := s.Storage; st != nil {
+		switch st.Backend {
+		case StorageBackendMemory, "":
+			if st.Root != "" || st.Fsync != "" {
+				fail(errors.New("policy: storage.root/fsync only apply to the log backend"))
+			}
+		case StorageBackendLog:
+			if st.Root == "" {
+				fail(errors.New("policy: storage.root is required for the log backend"))
+			}
+			switch st.Fsync {
+			case "", "none", "always":
+			default:
+				fail(fmt.Errorf("policy: storage.fsync must be \"none\" or \"always\", got %q", st.Fsync))
+			}
+			if s.Trigger != nil {
+				fail(errors.New("policy: the log storage backend cannot be combined with a trigger section (incremental dirty state is not persisted across restart)"))
+			}
+		default:
+			fail(fmt.Errorf("policy: storage.backend must be %q or %q, got %q", StorageBackendMemory, StorageBackendLog, st.Backend))
+		}
+		out.Storage = *st
 	}
 
 	// Override patches must still name resolvable values.

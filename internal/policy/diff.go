@@ -140,6 +140,17 @@ func Describe(s *Spec) string {
 		fmt.Fprintf(&b, "  %-14s every %d commits / %d bytes, reconcile every %d cycles\n",
 			"trigger:", t.EveryCommits, t.BytesWritten, t.ReconcileEvery)
 	}
+	if st := s.Storage; st != nil && st.Backend != "" {
+		line := st.Backend
+		if st.Durable() {
+			fsync := st.Fsync
+			if fsync == "" {
+				fsync = "none"
+			}
+			line = fmt.Sprintf("%s at %s (fsync %s)", st.Backend, st.Root, fsync)
+		}
+		fmt.Fprintf(&b, "  %-14s %s\n", "storage:", line)
+	}
 	if len(s.Databases) > 0 || len(s.Tables) > 0 {
 		fmt.Fprintf(&b, "  %-14s %d database, %d table patches\n",
 			"overrides:", len(s.Databases), len(s.Tables))

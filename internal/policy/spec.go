@@ -184,6 +184,31 @@ type TriggerSpec struct {
 	ReconcileEvery int `json:"reconcile_every,omitempty"`
 }
 
+// StorageSpec selects the lake's storage backend: "memory" (the
+// default; state lives in the simulated namespace only) or "log" (every
+// committed table version appends to a durable _delta_log directory
+// under Root, and the lake replays it on restart — see docs/storage.md).
+type StorageSpec struct {
+	// Backend is "memory" or "log".
+	Backend string `json:"backend"`
+	// Root is the on-disk directory holding the persisted lake
+	// (required for the log backend).
+	Root string `json:"root,omitempty"`
+	// Fsync is the log backend's durability policy: "none" (default;
+	// atomic renames only) or "always" (fsync every action file and its
+	// directory).
+	Fsync string `json:"fsync,omitempty"`
+}
+
+// Durable reports whether the spec selects the durable log backend.
+func (s *StorageSpec) Durable() bool { return s != nil && s.Backend == StorageBackendLog }
+
+// Storage backends.
+const (
+	StorageBackendMemory = "memory"
+	StorageBackendLog    = "log"
+)
+
 // Patch is a per-database or per-table override layer: fields present
 // override the layer below, absent fields inherit.
 type Patch struct {
@@ -234,6 +259,9 @@ type Spec struct {
 	Execution *ExecutionSpec `json:"execution,omitempty"`
 	// Trigger, when present, makes observation commit-event-driven.
 	Trigger *TriggerSpec `json:"trigger,omitempty"`
+	// Storage, when present, selects the lake's storage backend
+	// ("memory" or the durable "log" backend).
+	Storage *StorageSpec `json:"storage,omitempty"`
 
 	// Databases and Tables are override layers keyed by database name
 	// and full table name ("db.table"): base spec → database patch →

@@ -204,6 +204,10 @@ func (e *Engine) StepDay() error {
 	if e.day >= e.spec.Days {
 		return fmt.Errorf("scenario: %s has only %d days", e.spec.Name, e.spec.Days)
 	}
+	if err := e.applyRestarts(e.day + 1); err != nil {
+		e.err = err
+		return e.err
+	}
 	e.day++
 	day := e.day
 	e.inj = Injection{}

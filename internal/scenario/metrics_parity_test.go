@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"autocomp/internal/policy"
+	"autocomp/internal/telemetry"
+)
+
+// latencyFamilies are the metric families stamped from a clock: before
+// the virtual-clock fix they recorded host wall time and two same-seed
+// runs produced different snapshots.
+var latencyFamilies = []string{
+	"autocomp_core_decide_latency_seconds",
+	"autocomp_decideshard_shard_seconds",
+	"autocomp_decideshard_merge_seconds",
+}
+
+// latencySnapshot reads the current value of every latency-family
+// series from the process-wide registry.
+func latencySnapshot(t *testing.T) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(telemetry.Default().Render(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, fam := range latencyFamilies {
+			if !strings.HasPrefix(line, fam) {
+				continue
+			}
+			i := strings.LastIndexByte(line, ' ')
+			v, err := strconv.ParseFloat(line[i+1:], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			out[line[:i]] = v
+		}
+	}
+	return out
+}
+
+// delta subtracts the before snapshot from the after snapshot.
+func delta(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	return out
+}
+
+// TestPersistLatencyMetricsDeterministic pins the virtual-time metrics
+// fix: two same-seed scenario runs — serial decide latency and the
+// sharded decide plane's per-shard timings both exercised — must move
+// every latency-family series by exactly the same amount. Under the
+// old wall-clock stamps the histogram sums carried host scheduling
+// noise and no two runs matched.
+func TestPersistLatencyMetricsDeterministic(t *testing.T) {
+	ps := policy.DefaultSpec()
+	ps.Execution.DecideShards = 4
+	ps.Execution.DecideWorkers = 2
+	spec := func() *Spec {
+		return &Spec{
+			Name:   "latency-parity",
+			Seed:   17,
+			Days:   5,
+			Fleet:  FleetSpec{InitialTables: 100, Databases: 5},
+			Policy: ps.Clone(),
+			Workload: []PatternSpec{
+				{Kind: KindBurst, FromDay: 2, ToDay: 4, TablesFraction: 0.2, Commits: 8},
+			},
+		}
+	}
+
+	run := func() map[string]float64 {
+		before := latencySnapshot(t)
+		if _, err := Run(spec()); err != nil {
+			t.Fatal(err)
+		}
+		return delta(before, latencySnapshot(t))
+	}
+	first := run()
+	second := run()
+	if len(first) == 0 {
+		t.Fatal("no latency-family series recorded; the scenario did not exercise the instrumented paths")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same-seed runs moved latency metrics differently:\nfirst:  %v\nsecond: %v", first, second)
+	}
+}

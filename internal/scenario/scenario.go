@@ -128,6 +128,17 @@ type DropSpec struct {
 	Tables int `json:"tables"`
 }
 
+// RestartSpec schedules a kill/restart fault: at the start of Day,
+// before any of the day's work, the engine snapshots its state to disk,
+// tears the whole runtime down (clock, queue, fleet, patterns, service),
+// and rebuilds it from the serialized snapshot — the cold-start recovery
+// a durable deployment performs. A restart is invisible in the canonical
+// trace: the post-recovery cycles must be byte-identical to the
+// uninterrupted run's (golden-locked).
+type RestartSpec struct {
+	Day int `json:"day"`
+}
+
 // FaultSpec declares the scenario's fault injection.
 type FaultSpec struct {
 	// WriterCommitsPerHour is the fleet-wide rate of live writer commits
@@ -139,6 +150,8 @@ type FaultSpec struct {
 	CommitFailureProb float64 `json:"commit_failure_prob,omitempty"`
 	// Drops schedules mid-run table drops.
 	Drops []DropSpec `json:"drops,omitempty"`
+	// Restarts schedules kill/restart faults.
+	Restarts []RestartSpec `json:"restarts,omitempty"`
 }
 
 // ReloadSpec schedules a declarative policy hot-reload: starting with
@@ -324,6 +337,29 @@ func (s *Spec) Validate() error {
 			}
 			if d.Tables < 1 {
 				fail("faults.drops[%d]: tables must be >= 1, got %d", i, d.Tables)
+			}
+		}
+		lastRestart := 0
+		for i, r := range f.Restarts {
+			if r.Day < 2 || r.Day > s.Days {
+				fail("faults.restarts[%d]: day %d outside [2,%d] (a restart needs a prior day to recover)", i, r.Day, s.Days)
+			}
+			if r.Day <= lastRestart {
+				fail("faults.restarts[%d]: restart days must be strictly ascending", i)
+			}
+			lastRestart = r.Day
+		}
+		if len(f.Restarts) > 0 {
+			// The incremental observation plane's dirty-set and stats-cache
+			// state is not serialized; a restart under a trigger policy
+			// could not be trace-invisible.
+			if s.Policy != nil && s.Policy.Trigger != nil {
+				fail("faults.restarts: restart faults cannot run under a policy with a trigger section (incremental state is not persisted)")
+			}
+			for i, r := range s.Reloads {
+				if r.Policy != nil && r.Policy.Trigger != nil {
+					fail("faults.restarts: reloads[%d] has a trigger section, incompatible with restart faults", i)
+				}
 			}
 		}
 	}

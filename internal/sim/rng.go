@@ -12,13 +12,58 @@ import (
 //
 // A nil RNG is not usable; construct with NewRNG.
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	src *countingSource
 }
+
+// countingSource wraps the math/rand source and counts how many times it
+// was stepped. math/rand's seeded source advances exactly one internal
+// step per Int63 or Uint64 call, so the count fully determines the
+// source's position in its stream: replaying that many steps from the
+// same seed reproduces the generator state exactly. This is what lets a
+// persisted simulation resume its RNG streams mid-flight (NewRNGAt)
+// without changing a single value any existing stream produces.
+type countingSource struct {
+	src rand.Source64
+	n   int64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // NewRNG returns a generator seeded with seed. Equal seeds produce equal
 // streams.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{r: rand.New(src), src: src}
+}
+
+// Draws returns how many times the underlying source has been stepped.
+// Together with the construction seed it pins the generator's exact
+// position: NewRNGAt(seed, g.Draws()) continues the stream where g
+// stands.
+func (g *RNG) Draws() int64 { return g.src.n }
+
+// NewRNGAt returns a generator seeded with seed and fast-forwarded past
+// the first draws source steps — the stream position a NewRNG(seed)
+// generator reaches after Draws() == draws. Restoring a persisted
+// simulation re-pins each of its streams with this.
+func NewRNGAt(seed, draws int64) *RNG {
+	g := NewRNG(seed)
+	for i := int64(0); i < draws; i++ {
+		g.src.Uint64()
+	}
+	g.src.n = draws
+	return g
 }
 
 // Fork derives a new independent generator from this one. Forking lets a

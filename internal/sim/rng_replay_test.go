@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+// TestRNGReplayFastForward pins the resume contract every persisted
+// simulation relies on: a generator rebuilt with NewRNGAt(seed, draws)
+// continues the stream exactly where the original generator stood after
+// draws source steps, for any mix of draw kinds (some of which consume
+// several source steps per call).
+func TestRNGReplayFastForward(t *testing.T) {
+	mix := func(g *RNG) []float64 {
+		out := []float64{
+			float64(g.Int63()),
+			float64(g.Intn(1000)),
+			g.Float64(),
+			g.NormFloat64(),
+			g.LogNormalAround(128, 0.5),
+			g.Exp(2),
+			g.Jitter(10, 0.3),
+			g.Pareto(1, 1.5),
+			float64(g.IntBetween(3, 9)),
+		}
+		if g.Bernoulli(0.5) {
+			out = append(out, 1)
+		}
+		return out
+	}
+
+	for _, seed := range []int64{0, 1, 42, 1 << 40} {
+		orig := NewRNG(seed)
+		for i := 0; i < 3; i++ {
+			mix(orig)
+		}
+		draws := orig.Draws()
+		resumed := NewRNGAt(seed, draws)
+		if got := resumed.Draws(); got != draws {
+			t.Fatalf("seed %d: resumed Draws() = %d, want %d", seed, got, draws)
+		}
+		want := mix(orig)
+		got := mix(resumed)
+		if len(want) != len(got) {
+			t.Fatalf("seed %d: resumed stream length diverged: %d vs %d", seed, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("seed %d: resumed stream diverged at %d: %v vs %v", seed, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestRNGReplayForkAndChild checks Draws counting composes with the two
+// derivation rules: a fork consumes exactly one parent draw, and Child
+// streams track their own counts independently.
+func TestRNGReplayForkAndChild(t *testing.T) {
+	g := NewRNG(7)
+	if g.Draws() != 0 {
+		t.Fatalf("fresh generator has %d draws, want 0", g.Draws())
+	}
+	f := g.Fork()
+	if g.Draws() != 1 {
+		t.Fatalf("Fork consumed %d parent draws, want 1", g.Draws())
+	}
+	f.Float64()
+	if f.Draws() == 0 {
+		t.Fatal("forked stream did not count its draw")
+	}
+
+	c := Child(7, "test/stream")
+	c.Int63()
+	c.Int63()
+	r := NewRNGAt(ChildSeed(7, "test/stream"), c.Draws())
+	if r.Int63() != c.Int63() {
+		t.Fatal("Child stream resumed at wrong position")
+	}
+}

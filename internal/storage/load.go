@@ -22,14 +22,19 @@ func newLoadTracker(window time.Duration) *loadTracker {
 	return &loadTracker{window: window}
 }
 
-// add records n RPCs at virtual time now.
+// add records n RPCs at virtual time now. A timestamp at or before the
+// newest bucket's folds into that bucket: the slice stays sorted, which
+// evict's prefix scan relies on — an out-of-order append used to leave
+// a stale bucket stranded behind a fresh one, inflating the rate until
+// process restart.
 func (t *loadTracker) add(now time.Duration, n int64) {
 	sec := int64(now / time.Second)
-	if len(t.buckets) > 0 && t.buckets[len(t.buckets)-1].second == sec {
-		t.buckets[len(t.buckets)-1].count += n
-	} else {
-		t.buckets = append(t.buckets, loadBucket{second: sec, count: n})
+	if last := len(t.buckets) - 1; last >= 0 && t.buckets[last].second >= sec {
+		t.buckets[last].count += n
+		t.evict(t.buckets[last].second)
+		return
 	}
+	t.buckets = append(t.buckets, loadBucket{second: sec, count: n})
 	t.evict(sec)
 }
 

@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoadTrackerWindows(t *testing.T) {
+	type step struct {
+		at time.Duration
+		n  int64
+	}
+	cases := []struct {
+		name   string
+		window time.Duration
+		steps  []step
+		at     time.Duration
+		want   float64
+	}{
+		{
+			name:   "steady-within-window",
+			window: 10 * time.Second,
+			steps:  []step{{1 * time.Second, 5}, {2 * time.Second, 5}, {3 * time.Second, 10}},
+			at:     3 * time.Second,
+			want:   2.0, // 20 RPCs over a 10 s window
+		},
+		{
+			name:   "window-rolls-off",
+			window: 10 * time.Second,
+			steps:  []step{{1 * time.Second, 100}, {30 * time.Second, 10}},
+			at:     30 * time.Second,
+			want:   1.0, // the second-1 bucket is past the horizon
+		},
+		{
+			name:   "multi-hour-gap-evicts-everything-old",
+			window: time.Minute,
+			steps:  []step{{5 * time.Second, 600}, {3 * time.Hour, 60}},
+			at:     3 * time.Hour,
+			want:   1.0,
+		},
+		{
+			// The regression this file exists for: a timestamp that runs
+			// backwards (interleaved components reading slightly different
+			// clocks, or replay) used to append an unsorted bucket that the
+			// evict prefix scan could never drop — the count was counted
+			// forever. Folded into the newest bucket, it ages out normally.
+			name:   "out-of-order-add-still-evicts",
+			window: 10 * time.Second,
+			steps: []step{
+				{20 * time.Second, 10},
+				{15 * time.Second, 50}, // regressed: folds into the second-20 bucket
+				{21 * time.Second, 10},
+				{60 * time.Second, 10}, // everything before the horizon must go
+			},
+			at:   60 * time.Second,
+			want: 1.0,
+		},
+		{
+			name:   "out-of-order-within-window-still-counted",
+			window: time.Minute,
+			steps: []step{
+				{30 * time.Second, 6},
+				{10 * time.Second, 54}, // regressed but inside the window
+			},
+			at:   30 * time.Second,
+			want: 1.0,
+		},
+		{
+			name:   "regressed-after-gap",
+			window: time.Minute,
+			steps: []step{
+				{2 * time.Hour, 60},
+				{1 * time.Hour, 60}, // an hour backwards
+				{2*time.Hour + 30*time.Second, 60},
+			},
+			at:   2*time.Hour + 30*time.Second,
+			want: 3.0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := newLoadTracker(tc.window)
+			for _, s := range tc.steps {
+				tr.add(s.at, s.n)
+			}
+			if got := tr.rate(tc.at); got != tc.want {
+				t.Fatalf("rate(%v) = %v, want %v", tc.at, got, tc.want)
+			}
+			for i := 1; i < len(tr.buckets); i++ {
+				if tr.buckets[i-1].second > tr.buckets[i].second {
+					t.Fatalf("buckets unsorted after adds: %+v", tr.buckets)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadTrackerStaleBucketGone pins the eviction mechanics directly:
+// after an out-of-order add and a later in-order add beyond the window,
+// no bucket older than the horizon survives.
+func TestLoadTrackerStaleBucketGone(t *testing.T) {
+	tr := newLoadTracker(10 * time.Second)
+	tr.add(20*time.Second, 1)
+	tr.add(5*time.Second, 99) // regressed by 15 s
+	tr.add(45*time.Second, 1)
+	horizon := int64(45 - 10)
+	for _, b := range tr.buckets {
+		if b.second <= horizon {
+			t.Fatalf("stale bucket at second %d survived eviction: %+v", b.second, tr.buckets)
+		}
+	}
+	if got := tr.rate(45 * time.Second); got != 0.1 {
+		t.Fatalf("rate = %v, want 0.1", got)
+	}
+}

@@ -101,9 +101,10 @@ type CycleEvent struct {
 
 	Fleet FleetTrace `json:"fleet"`
 
-	// WallMS is the wall-clock cost of running the cycle (observe
-	// through act), in milliseconds. It is runtime telemetry only and is
-	// never part of a scenario trace.
+	// WallMS is the cost of running the cycle (observe through act) in
+	// milliseconds, measured on the emitter's clock — virtual time under
+	// simulation, so same-seed runs emit identical values. It is runtime
+	// telemetry only and is never part of a scenario trace.
 	WallMS float64 `json:"wall_ms"`
 }
 

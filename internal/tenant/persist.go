@@ -1,0 +1,93 @@
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"autocomp/internal/fleet"
+	"autocomp/internal/lstlog"
+	"autocomp/internal/sim"
+)
+
+// diskState is a tenant's persisted lake: the fleet snapshot (virtual
+// time and RNG positions included) plus the tenant's cycle counter.
+// One file per tenant under <root>/tenants/<name>/fleet.json, written
+// atomically after every completed cycle, so a SIGKILL at any instant
+// leaves either the previous or the current cycle's state — never a
+// torn one.
+type diskState struct {
+	Name  string       `json:"name"`
+	Day   int          `json:"day"`
+	Fleet *fleet.State `json:"fleet"`
+}
+
+// persistRel is the tenant's state file, relative to the store root.
+func (t *Tenant) persistRel() string { return "tenants/" + t.cfg.Name + "/fleet.json" }
+
+// resolveStoreLocked opens (or drops) the tenant's durable store to
+// match the compiled policy's storage section. Called from
+// setPolicyLocked, so a hot reload can move a tenant between memory and
+// log backends at a cycle boundary.
+func (t *Tenant) resolveStoreLocked() error {
+	st := t.svc.Compiled.Storage
+	if !st.Durable() {
+		t.store = nil
+		return nil
+	}
+	if t.store != nil && t.store.Root() == st.Root {
+		return nil
+	}
+	s, err := lstlog.Open(lstlog.Config{Root: st.Root, Fsync: st.Fsync})
+	if err != nil {
+		return fmt.Errorf("tenant %s: storage: %w", t.cfg.Name, err)
+	}
+	t.store = s
+	return nil
+}
+
+// loadPersisted reads the tenant's state file, returning (nil, 0, nil)
+// on a cold start. A snapshot persisted under a different fleet
+// configuration is rejected loudly: silently re-simulating from day 0
+// under the old name would masquerade as a recovery.
+func (t *Tenant) loadPersisted() (*fleet.Fleet, int, error) {
+	b, err := t.store.ReadSubFile(t.persistRel())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("tenant %s: restore: %w", t.cfg.Name, err)
+	}
+	var st diskState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, 0, fmt.Errorf("tenant %s: restore: parse %s: %w", t.cfg.Name, t.persistRel(), err)
+	}
+	if st.Name != t.cfg.Name || st.Fleet == nil {
+		return nil, 0, fmt.Errorf("tenant %s: restore: %s does not hold this tenant's state", t.cfg.Name, t.persistRel())
+	}
+	if st.Fleet.Config != t.cfg.fleetConfig() {
+		return nil, 0, fmt.Errorf("tenant %s: restore: persisted state was built from a different fleet config; remove %s or restore the config", t.cfg.Name, t.persistRel())
+	}
+	f, err := fleet.Restore(st.Fleet, sim.NewClock())
+	if err != nil {
+		return nil, 0, fmt.Errorf("tenant %s: restore: %w", t.cfg.Name, err)
+	}
+	return f, st.Day, nil
+}
+
+// persistLocked writes the tenant's current state to its store, if the
+// policy runs a durable backend. Callers hold t.mu.
+func (t *Tenant) persistLocked() error {
+	if t.store == nil {
+		return nil
+	}
+	b, err := json.Marshal(&diskState{Name: t.cfg.Name, Day: t.day, Fleet: t.fleet.Snapshot()})
+	if err == nil {
+		err = t.store.WriteSubFile(t.persistRel(), b)
+	}
+	if err != nil {
+		return fmt.Errorf("tenant %s: persist: %w", t.cfg.Name, err)
+	}
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 
 	"autocomp/internal/core"
 	"autocomp/internal/fleet"
+	"autocomp/internal/lstlog"
 	"autocomp/internal/policy"
 	"autocomp/internal/sim"
 	"autocomp/internal/storage"
@@ -202,8 +203,13 @@ type Tenant struct {
 	day    int
 	err    error
 
-	fleet      *fleet.Fleet
-	svc        *fleet.SpecService
+	fleet *fleet.Fleet
+	svc   *fleet.SpecService
+	// store is the tenant's durable backend, nil under the in-memory
+	// backend. Resolved from the compiled policy's storage section at
+	// every swap; when set, each completed cycle persists the lake and
+	// New restores it.
+	store      *lstlog.Store
 	lastRep    *core.Report
 	spec       *policy.Spec
 	provenance string
@@ -258,6 +264,25 @@ func New(cfg Config, spec *policy.Spec, opts Options) (*Tenant, error) {
 	}
 	if err := t.setPolicyLocked(spec, t.provenance); err != nil {
 		return nil, err
+	}
+	// Cold-start recovery: when the policy names a durable backend and
+	// the store holds this tenant's state, rebuild the lake from it (and
+	// recompile the pipeline against the restored substrate) instead of
+	// simulating a fresh one. Compilation consumes no RNG draws, so the
+	// restored tenant's next cycle is byte-identical to the cycle an
+	// uninterrupted tenant would have run.
+	if t.store != nil {
+		restored, day, err := t.loadPersisted()
+		if err != nil {
+			return nil, err
+		}
+		if restored != nil {
+			t.fleet = restored
+			t.day = day
+			if err := t.setPolicyLocked(spec, t.provenance); err != nil {
+				return nil, err
+			}
+		}
 	}
 	mTenants.Add(1)
 	mTenantState.With(cfg.Name).Set(float64(StateCreated))
@@ -341,7 +366,7 @@ func (t *Tenant) setPolicyLocked(sp *policy.Spec, provenance string) error {
 	t.svc = svc
 	t.spec = sp
 	t.provenance = provenance
-	return nil
+	return t.resolveStoreLocked()
 }
 
 // PushPolicy validates sp and stages it for an atomic swap at the next
@@ -414,6 +439,9 @@ func (t *Tenant) StepCycle() error {
 	}
 	t.day++
 	t.lastRep = rep
+	if err := t.persistLocked(); err != nil {
+		return err
+	}
 	mTenantCycles.With(t.cfg.Name).Inc()
 	mTenantDay.With(t.cfg.Name).Set(float64(t.day))
 	mTenantFilesReduced.With(t.cfg.Name).Add(float64(rep.FilesReduced))

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Durable-storage smoke test: the kill -9 drill an operator would run
+# before trusting the log backend. Phase 1 runs a clean 12-day daemon on
+# the in-memory backend and keeps its decision trace as the golden.
+# Phase 2 boots the same tenant on the durable log backend, runs 6 days,
+# captures the management API's view of the fleet, and SIGKILLs the
+# daemon. Phase 3 reboots from the same root and requires the restored
+# fleet state to match the pre-kill capture. Phase 4 extends the run to
+# 12 days and requires the recovered daemon's days 7-12 trace events to
+# match the uninterrupted run's byte-for-byte (sequence numbers
+# normalized: the rebooted tracer starts fresh).
+#
+# Run from the repository root: ./scripts/smoke_persist.sh
+set -eu
+
+workdir=$(mktemp -d)
+lake="$workdir/lake"
+log="$workdir/autocompd.log"
+pid=""
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/autocompd" ./cmd/autocompd
+
+# The durable policy is the shipped default plus a storage section —
+# storage selection must not perturb decisions, which is exactly what
+# the trace comparison below proves.
+python3 - examples/policies/default.json "$workdir/durable.json" "$lake" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    spec = json.load(f)
+spec["storage"] = {"backend": "log", "root": sys.argv[3]}
+with open(sys.argv[2], "w") as f:
+    json.dump(spec, f, indent=2)
+EOF
+
+# Phase 1: uninterrupted 12-day run on the memory backend.
+"$workdir/autocompd" -tables 120 -days 12 -policy examples/policies/default.json \
+  -trace "$workdir/clean.jsonl" >"$workdir/clean.log" 2>&1 \
+  || { echo "smoke-persist: clean run failed"; cat "$workdir/clean.log"; exit 1; }
+[ "$(wc -l <"$workdir/clean.jsonl")" = "12" ] \
+  || { echo "smoke-persist: clean run traced $(wc -l <"$workdir/clean.jsonl") cycles, want 12"; exit 1; }
+echo "smoke-persist: clean 12-day golden captured"
+
+# Phase 2: 6 days on the log backend, then SIGKILL — no drain, no
+# flush; whatever the store holds is all the next boot gets.
+"$workdir/autocompd" -tables 120 -days 6 -policy "$workdir/durable.json" \
+  -listen 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^telemetry: listening on \([0-9.:]*\).*/\1/p' "$log")
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "smoke-persist: autocompd exited before announcing its address"; cat "$log"; exit 1; }
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "smoke-persist: autocompd never announced its listen address"; cat "$log"; exit 1; }
+grep -q "^storage plane: durable log at $lake" "$log" \
+  || { echo "smoke-persist: boot report missing the storage plane"; cat "$log"; exit 1; }
+
+for _ in $(seq 1 300); do
+  grep -q "run complete" "$log" && break
+  kill -0 "$pid" 2>/dev/null || { echo "smoke-persist: durable run died"; cat "$log"; exit 1; }
+  sleep 0.2
+done
+grep -q "run complete" "$log" || { echo "smoke-persist: durable run never completed"; cat "$log"; exit 1; }
+curl -fsS "http://$addr/api/tenants/default" >"$workdir/prekill.json"
+{ kill -9 "$pid" && wait "$pid"; } 2>/dev/null || true
+pid=""
+[ -f "$lake/tenants/default/fleet.json" ] \
+  || { echo "smoke-persist: no persisted state under $lake after the kill"; exit 1; }
+echo "smoke-persist: day-6 state captured, daemon SIGKILLed"
+
+# Phase 3: reboot from the same root. The tenant restores at day 6, the
+# run is already complete, and the daemon serves the recovered state.
+"$workdir/autocompd" -tables 120 -days 6 -policy "$workdir/durable.json" \
+  -listen 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^telemetry: listening on \([0-9.:]*\).*/\1/p' "$log")
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "smoke-persist: reboot exited before announcing its address"; cat "$log"; exit 1; }
+  sleep 0.2
+done
+for _ in $(seq 1 300); do
+  grep -q "run complete" "$log" && break
+  sleep 0.2
+done
+curl -fsS "http://$addr/api/tenants/default" >"$workdir/restored.json"
+python3 - "$workdir/prekill.json" "$workdir/restored.json" <<'EOF'
+import json, sys
+pre = json.load(open(sys.argv[1]))
+post = json.load(open(sys.argv[2]))
+if post["day"] != 6 or pre["day"] != 6:
+    sys.exit(f"restored day {post['day']}, pre-kill day {pre['day']}, want 6")
+for key in ("fleet", "seed", "policy", "days_planned"):
+    if pre[key] != post[key]:
+        sys.exit(f"restored {key} diverged:\npre-kill: {pre[key]}\nrestored: {post[key]}")
+EOF
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "smoke-persist: reboot recovered day-6 fleet state exactly"
+
+# Phase 4: extend the recovered run to 12 days; its days 7-12 must
+# replay identically to the uninterrupted run's.
+"$workdir/autocompd" -tables 120 -days 12 -policy "$workdir/durable.json" \
+  -trace "$workdir/post.jsonl" >"$workdir/post.log" 2>&1 \
+  || { echo "smoke-persist: recovered run failed"; cat "$workdir/post.log"; exit 1; }
+[ "$(wc -l <"$workdir/post.jsonl")" = "6" ] \
+  || { echo "smoke-persist: recovered run traced $(wc -l <"$workdir/post.jsonl") cycles, want 6 (days 7-12)"; exit 1; }
+norm='s/"seq":[0-9]*/"seq":0/'
+tail -6 "$workdir/clean.jsonl" | sed "$norm" >"$workdir/clean.tail"
+sed "$norm" "$workdir/post.jsonl" >"$workdir/post.norm"
+cmp -s "$workdir/clean.tail" "$workdir/post.norm" || {
+  echo "smoke-persist: recovered days 7-12 diverged from the uninterrupted run"
+  diff "$workdir/clean.tail" "$workdir/post.norm" | head -10
+  exit 1
+}
+echo "smoke-persist: recovered days 7-12 match the uninterrupted run byte-for-byte"
+
+echo "smoke-persist: PASS"
